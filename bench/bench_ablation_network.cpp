@@ -1,0 +1,89 @@
+// Ablation study over the simulator's own modelling choices (DESIGN.md §4):
+// chunk size, router pipeline delay, VC buffer depth, and the UGAL
+// nonminimal penalty. Each knob is varied on the CR workload under the two
+// extreme configurations; the point is to show which conclusions are robust
+// to the model parameters and which knob moves what.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct Variant {
+  std::string name;
+  NetworkParams net;
+};
+
+void run_variants(const Workload& workload, const std::vector<Variant>& variants,
+                  std::uint64_t seed, const std::string& title) {
+  Table t(title);
+  t.set_columns({"variant", "cont-min median (ms)", "rand-adp median (ms)", "cont/rand ratio"});
+  for (const Variant& v : variants) {
+    ExperimentOptions options;
+    options.seed = seed;
+    options.net = v.net;
+    const std::vector<ExperimentConfig> configs = {
+        {PlacementKind::Contiguous, RoutingKind::Minimal},
+        {PlacementKind::RandomNode, RoutingKind::Adaptive}};
+    const auto results = run_matrix(workload, configs, options, bench::bench_threads());
+    const double cont = results[0].metrics.median_comm_ms();
+    const double rand = results[1].metrics.median_comm_ms();
+    t.add_row({v.name, Table::num(cont, 3), Table::num(rand, 3),
+               Table::num(rand > 0 ? cont / rand : 0, 2)});
+  }
+  t.print_markdown(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.1);  // lighter load: many variants to run
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Ablation", "model-parameter sensitivity of the trade-off", scale, seed);
+
+  const Workload cr = bench::cr_workload(scale);
+
+  {
+    std::vector<Variant> variants;
+    for (const Bytes chunk : {512l, 2048l, 8192l}) {
+      NetworkParams net = NetworkParams::theta();
+      net.chunk_bytes = chunk;
+      variants.push_back({"chunk=" + std::to_string(chunk) + "B", net});
+    }
+    run_variants(cr, variants, seed, "Ablation: packet chunk size (CR)");
+  }
+  {
+    std::vector<Variant> variants;
+    for (const SimTime delay : {0l, 250l, 500l, 1000l}) {
+      NetworkParams net = NetworkParams::theta();
+      net.router_delay = delay;
+      variants.push_back({"router_delay=" + std::to_string(delay) + "ns", net});
+    }
+    run_variants(cr, variants, seed, "Ablation: router pipeline delay (CR)");
+  }
+  {
+    std::vector<Variant> variants;
+    for (const int mult : {1, 2, 4}) {
+      NetworkParams net = NetworkParams::theta();
+      net.terminal_vc_buffer *= mult;
+      net.local_vc_buffer *= mult;
+      net.global_vc_buffer *= mult;
+      variants.push_back({"buffers x" + std::to_string(mult), net});
+    }
+    run_variants(cr, variants, seed, "Ablation: VC buffer depth (CR)");
+  }
+  {
+    // Bandwidth ratio: what if global links matched local bandwidth?
+    std::vector<Variant> variants;
+    NetworkParams theta = NetworkParams::theta();
+    variants.push_back({"theta (4.69 GiB/s global)", theta});
+    NetworkParams fat = theta;
+    fat.global_bandwidth_gib = theta.local_bandwidth_gib;
+    variants.push_back({"global=local bandwidth", fat});
+    run_variants(cr, variants, seed, "Ablation: global link bandwidth (CR)");
+  }
+  return 0;
+}

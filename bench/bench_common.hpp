@@ -1,0 +1,73 @@
+// Shared helpers for the figure-reproduction benches: the three paper
+// workloads at their paper rank counts (1000/1000/1728), with one knob — the
+// message-volume scale — threaded through every generator so the whole suite
+// trades runtime against fidelity uniformly (env DFLY_SCALE).
+//
+// Iteration counts are fixed here (CR/FB one sweep, AMG three V-cycles) and
+// recorded in EXPERIMENTS.md next to the results.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/formatters.hpp"
+#include "core/run_matrix.hpp"
+#include "metrics/report.hpp"
+#include "workload/workload.hpp"
+
+namespace dfly::bench {
+
+inline Workload cr_workload(double scale) {
+  CrParams p;
+  p.iterations = 1;
+  p.scale = scale;
+  return make_crystal_router(p);
+}
+
+inline Workload fb_workload(double scale) {
+  FbParams p;
+  p.iterations = 1;
+  p.scale = scale;
+  return make_fill_boundary(p);
+}
+
+inline Workload amg_workload(double scale) {
+  AmgParams p;  // 3 V-cycles — the paper's three surges
+  p.scale = scale;
+  return make_amg(p);
+}
+
+/// Runs the Table I matrix for one workload and prints the Fig. 3-style box
+/// table plus a run summary; returns the per-config metrics for further
+/// tables.
+inline std::vector<NamedMetrics> run_and_report_matrix(const Workload& workload,
+                                                       const ExperimentOptions& options,
+                                                       int threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ExperimentConfig> configs = table1_configs();
+  const std::vector<ExperimentResult> results = run_matrix(workload, configs, options, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<NamedMetrics> named;
+  named.reserve(results.size());
+  for (const ExperimentResult& r : results) named.push_back({r.config, r.metrics});
+
+  comm_time_box_table(workload.name + ": per-rank communication time (ms)", named)
+      .print_markdown(std::cout);
+  summary_table(workload.name + ": run summary", named).print_markdown(std::cout);
+
+  // Call out the winner, the comparison the paper's findings quote.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < named.size(); ++i)
+    if (named[i].metrics.median_comm_ms() < named[best].metrics.median_comm_ms()) best = i;
+  std::printf("%s best config by median communication time: %s (wall %.1fs)\n\n",
+              workload.name.c_str(), named[best].config.c_str(), wall);
+  return named;
+}
+
+inline int bench_threads() { return env_threads(0); }
+
+}  // namespace dfly::bench

@@ -1,0 +1,150 @@
+// Extension studies beyond the paper's evaluation — the future-work items
+// its §VI names (task mapping) and the model's extra capabilities:
+//   1. task mapping over a fixed allocation (linear/random/blocked/spread);
+//   2. routing algorithm panel incl. Valiant and omniscient UGAL-G;
+//   3. degraded fabric (failed global links);
+//   4. eager vs rendezvous messaging protocol;
+//   5. output-port arbitration policy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "place/mapping.hpp"
+#include "util/stats.hpp"
+#include "replay/replay.hpp"
+
+namespace {
+
+using namespace dfly;
+
+/// Runs one workload on an explicit placement and returns the metrics.
+RunMetrics run_once(const Workload& workload, const DragonflyTopology& topo,
+                    const NetworkParams& net, const Placement& placement, RoutingKind routing,
+                    ReplayOptions replay_options = {}) {
+  Engine engine;
+  const auto algorithm = make_routing(routing, topo);
+  Network network(engine, topo, net, *algorithm, Rng(99));
+  ReplayEngine replay(engine, network, workload.trace, placement, replay_options);
+  replay.start();
+  engine.run();
+  network.finalize(engine.now());
+  return collect_metrics(network, replay, placement, engine);
+}
+
+void mapping_study(const Workload& workload, std::uint64_t seed) {
+  const TopoParams params = TopoParams::theta();
+  const DragonflyTopology topo(params);
+  Table t("Task mapping on a random-router allocation (" + workload.name + ")");
+  t.set_columns({"mapping", "median comm (ms)", "max comm (ms)", "median avg hops"});
+  for (const MappingKind kind : kAllMappings) {
+    Rng rng(seed);
+    const Placement base =
+        make_placement(PlacementKind::RandomRouter, params, workload.trace.ranks(), rng);
+    const Placement mapped = apply_mapping(base, kind, params, rng);
+    const RunMetrics m =
+        run_once(workload, topo, NetworkParams::theta(), mapped, RoutingKind::Adaptive);
+    t.add_row({to_string(kind), Table::num(m.median_comm_ms(), 3), Table::num(m.max_comm_ms(), 3),
+               Table::num(percentile(m.avg_hops, 50), 2)});
+  }
+  t.print_markdown(std::cout);
+}
+
+void routing_panel(const Workload& workload, std::uint64_t seed) {
+  const TopoParams params = TopoParams::theta();
+  const DragonflyTopology topo(params);
+  Table t("Routing algorithms under contiguous placement (" + workload.name + ")");
+  t.set_columns({"routing", "median comm (ms)", "max comm (ms)", "median avg hops"});
+  for (const RoutingKind kind : {RoutingKind::Minimal, RoutingKind::Adaptive,
+                                 RoutingKind::Valiant, RoutingKind::AdaptiveGlobal}) {
+    Rng rng(seed);
+    const Placement placement =
+        make_placement(PlacementKind::Contiguous, params, workload.trace.ranks(), rng);
+    const RunMetrics m = run_once(workload, topo, NetworkParams::theta(), placement, kind);
+    t.add_row({to_string(kind), Table::num(m.median_comm_ms(), 3), Table::num(m.max_comm_ms(), 3),
+               Table::num(percentile(m.avg_hops, 50), 2)});
+  }
+  t.print_markdown(std::cout);
+}
+
+void fault_study(const Workload& workload, std::uint64_t seed) {
+  Table t("Degraded fabric: failed global links (" + workload.name + ", rand placement)");
+  t.set_columns({"failed links", "adaptive median (ms)", "minimal median (ms)"});
+  for (const double fraction : {0.0, 0.25, 0.5, 0.75}) {
+    DragonflyTopology topo(TopoParams::theta());
+    int disabled = 0;
+    if (fraction > 0) {
+      Rng fault_rng(seed + 1);
+      disabled = disable_random_global_links(topo, fraction, fault_rng);
+    }
+    Rng rng(seed);
+    const Placement placement = make_placement(PlacementKind::RandomNode, topo.params(),
+                                               workload.trace.ranks(), rng);
+    const RunMetrics adp =
+        run_once(workload, topo, NetworkParams::theta(), placement, RoutingKind::Adaptive);
+    const RunMetrics min =
+        run_once(workload, topo, NetworkParams::theta(), placement, RoutingKind::Minimal);
+    t.add_row({Table::num(static_cast<std::int64_t>(disabled)),
+               Table::num(adp.median_comm_ms(), 3), Table::num(min.median_comm_ms(), 3)});
+  }
+  t.print_markdown(std::cout);
+}
+
+void protocol_study(const Workload& workload, std::uint64_t seed) {
+  const TopoParams params = TopoParams::theta();
+  const DragonflyTopology topo(params);
+  Table t("Messaging protocol (" + workload.name + ", rand-adp)");
+  t.set_columns({"protocol", "median comm (ms)", "max comm (ms)"});
+  struct Row {
+    const char* name;
+    ReplayOptions options;
+  };
+  ReplayOptions rendezvous;
+  rendezvous.eager_threshold = 16 * units::kKiB;
+  for (const Row& row : {Row{"eager (paper model)", ReplayOptions{}},
+                         Row{"rendezvous >16KiB", rendezvous}}) {
+    Rng rng(seed);
+    const Placement placement =
+        make_placement(PlacementKind::RandomNode, params, workload.trace.ranks(), rng);
+    const RunMetrics m = run_once(workload, topo, NetworkParams::theta(), placement,
+                                  RoutingKind::Adaptive, row.options);
+    t.add_row({row.name, Table::num(m.median_comm_ms(), 3), Table::num(m.max_comm_ms(), 3)});
+  }
+  t.print_markdown(std::cout);
+}
+
+void arbitration_study(const Workload& workload, std::uint64_t seed) {
+  const TopoParams params = TopoParams::theta();
+  const DragonflyTopology topo(params);
+  Table t("Output-port arbitration (" + workload.name + ", cont-adp)");
+  t.set_columns({"policy", "median comm (ms)", "max comm (ms)"});
+  for (const Arbitration policy : {Arbitration::FirstSendable, Arbitration::RoundRobinVc}) {
+    NetworkParams net = NetworkParams::theta();
+    net.arbitration = policy;
+    Rng rng(seed);
+    const Placement placement =
+        make_placement(PlacementKind::Contiguous, params, workload.trace.ranks(), rng);
+    const RunMetrics m = run_once(workload, topo, net, placement, RoutingKind::Adaptive);
+    t.add_row({to_string(policy), Table::num(m.median_comm_ms(), 3),
+               Table::num(m.max_comm_ms(), 3)});
+  }
+  t.print_markdown(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.1);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Extensions", "task mapping, routing panel, faults, protocol, arbitration",
+                     scale, seed);
+
+  const Workload amg = bench::amg_workload(scale * 4);  // AMG is light; use 4x
+  const Workload cr = bench::cr_workload(scale);
+
+  mapping_study(amg, seed);
+  routing_panel(cr, seed);
+  fault_study(cr, seed);
+  protocol_study(cr, seed);
+  arbitration_study(cr, seed);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 2: communication matrix (top row) and message load per
+// rank over time (bottom row) for CR, FB and AMG.
+//
+// The matrix is rendered as a 16x16 block-aggregated intensity map (0-9
+// scale, '.' = no traffic); the load-over-time panels become per-phase
+// average-load tables (the replayed traces have no compute time, so logical
+// phases are the time axis — exactly what the paper's stripped traces show).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workload/characterize.hpp"
+
+namespace {
+
+using namespace dfly;
+
+void print_matrix_map(const CommMatrix& matrix) {
+  const int blocks = 16;
+  const auto grid = matrix.block_aggregate(blocks);
+  Bytes peak = 0;
+  for (const auto& row : grid)
+    for (const Bytes b : row) peak = std::max(peak, b);
+  std::printf("communication matrix (16x16 block intensity, 0-9):\n");
+  for (const auto& row : grid) {
+    std::printf("  ");
+    for (const Bytes b : row) {
+      if (b == 0) {
+        std::printf(".");
+      } else {
+        const int level = static_cast<int>(9.0 * static_cast<double>(b) / static_cast<double>(peak));
+        std::printf("%d", level);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void characterize(const Workload& workload) {
+  std::printf("\n--- %s (%d ranks) ---\n", workload.name.c_str(), workload.trace.ranks());
+  const CommMatrix matrix(workload.trace);
+
+  Table stats(workload.name + ": communication structure");
+  stats.set_columns({"metric", "value"});
+  stats.add_row({"total volume (MB)", Table::num(units::to_mb(matrix.total_bytes()), 1)});
+  stats.add_row({"messages", Table::num(static_cast<std::int64_t>(matrix.message_count()))});
+  stats.add_row({"avg message (KB)", Table::num(matrix.average_message_bytes() / 1000.0, 1)});
+  stats.add_row({"rank pairs used",
+                 Table::num(static_cast<std::int64_t>(matrix.pairs_used()))});
+  stats.add_row({"bytes within |i-j|<=2", Table::pct(100 * matrix.locality_fraction(2))});
+  stats.add_row({"bytes within |i-j|<=16", Table::pct(100 * matrix.locality_fraction(16))});
+  stats.add_row({"bytes within |i-j|<=128", Table::pct(100 * matrix.locality_fraction(128))});
+  stats.print_markdown(std::cout);
+
+  print_matrix_map(matrix);
+
+  const PhaseLoad load = phase_load(workload.trace);
+  Table profile(workload.name + ": message load per rank over (logical) time");
+  profile.set_columns({"phase", "avg load per rank (KB)"});
+  for (std::size_t phase = 0; phase < load.avg_bytes_per_rank.size(); ++phase)
+    profile.add_row({Table::num(static_cast<std::int64_t>(phase)),
+                     Table::num(load.avg_bytes_per_rank[phase] / 1000.0, 1)});
+  profile.print_markdown(std::cout);
+  std::printf("%s peak per-rank phase load: %.1f KB\n", workload.name.c_str(),
+              load.peak() / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(1.0);  // characterization uses original sizes
+  print_bench_header("Fig. 2", "communication matrices and message-load profiles", scale,
+                     env_seed(42));
+  characterize(bench::cr_workload(scale));
+  characterize(bench::fb_workload(scale));
+  characterize(bench::amg_workload(scale));
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 3: communication-time distributions (box plots) for CR, FB
+// and AMG under all ten placement x routing configurations, each application
+// running alone on the Theta-like system.
+//
+// Paper shape to reproduce: CR best near rand-min, FB best at rand-adp, AMG
+// best with contiguous placement; cont-min is the worst case for FB.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Fig. 3", "communication time distributions, 3 apps x 10 configs", scale,
+                     seed);
+  table1_nomenclature().print_markdown(std::cout);
+
+  ExperimentOptions options;
+  options.seed = seed;
+
+  for (const Workload& w :
+       {bench::cr_workload(scale), bench::fb_workload(scale), bench::amg_workload(scale)}) {
+    std::printf("running %s (%d ranks, %.1f MB total)...\n", w.name.c_str(), w.trace.ranks(),
+                units::to_mb(w.trace.total_send_bytes()));
+    bench::run_and_report_matrix(w, options, bench::bench_threads());
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 4: CR's average hops, local channel traffic, and
+// local/global link saturation time under all ten configurations.
+//
+// Paper shape: contiguous+minimal has the fewest hops but the heaviest local
+// channel traffic tail and the longest local-link saturation; random-node
+// placement balances traffic across channels and cuts saturation at the cost
+// of more hops.
+#include "bench_network_figures.hpp"
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Fig. 4", "CR network metrics (hops, traffic, saturation)", scale, seed);
+  ExperimentOptions options;
+  options.seed = seed;
+  bench::NetworkFigurePanels panels;
+  panels.hops = true;           // Fig. 4(a)
+  panels.global_traffic = false;  // the paper's Fig. 4 shows local traffic only
+  bench::run_network_figure(bench::cr_workload(scale), options, panels);
+  return 0;
+}

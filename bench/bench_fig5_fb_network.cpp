@@ -1,0 +1,18 @@
+// Reproduces Fig. 5: FB's local/global channel traffic and link saturation
+// under all ten configurations.
+//
+// Paper shape: cont-min clusters a large amount of traffic on few channels
+// (long tails, heavy saturation); cont-adp rebalances; rand-min/rand-adp
+// flatten both local and global channel load.
+#include "bench_network_figures.hpp"
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Fig. 5", "FB network metrics (traffic, saturation)", scale, seed);
+  ExperimentOptions options;
+  options.seed = seed;
+  bench::run_network_figure(bench::fb_workload(scale), options, bench::NetworkFigurePanels{});
+  return 0;
+}

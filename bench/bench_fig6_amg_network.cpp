@@ -1,0 +1,18 @@
+// Reproduces Fig. 6: AMG's local/global channel traffic and link saturation
+// under all ten configurations.
+//
+// Paper shape: cont-min concentrates traffic on few channels with the longest
+// saturation; rand-adp spreads it but — AMG being light — does not reduce
+// saturation much compared with cont-adp, which wins on hops.
+#include "bench_network_figures.hpp"
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Fig. 6", "AMG network metrics (traffic, saturation)", scale, seed);
+  ExperimentOptions options;
+  options.seed = seed;
+  bench::run_network_figure(bench::amg_workload(scale), options, bench::NetworkFigurePanels{});
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig. 7: sensitivity of the maximum per-rank communication time
+// to message load, for the four extreme configurations, relative to the
+// rand-adp baseline at each scale.
+//
+// Paper shape:
+//   CR  (7a): contiguous competitive only at very small loads; random-node
+//             pulls ahead as load grows; minimal close to adaptive.
+//   FB  (7b): rand-adp best at every scale; cont-min blows up with load.
+//   AMG (7c): contiguous wins at low intensity (<~10x), random-node at high.
+//
+// The x-axes match the paper: CR/FB swept from 1% to 2x the original size,
+// AMG from 0.5x to 20x.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sensitivity.hpp"
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(1.0);  // multiplies the paper's sweep points
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Fig. 7", "communication-intensity sensitivity sweep", scale, seed);
+
+  ExperimentOptions options;
+  options.seed = seed;
+  const int threads = bench::bench_threads();
+
+  struct Sweep {
+    const char* name;
+    Workload (*make)(double);
+    std::vector<double> scales;
+  };
+  // Sweep endpoints match the paper's axes (CR/FB: 1%..2x, AMG: 0.5x..20x).
+  const Sweep sweeps[] = {
+      {"CR", [](double s) { return bench::cr_workload(s); }, {0.01, 0.25, 1.0, 2.0}},
+      {"FB", [](double s) { return bench::fb_workload(s); }, {0.01, 0.25, 1.0, 2.0}},
+      {"AMG", [](double s) { return bench::amg_workload(s); }, {0.5, 2.0, 10.0, 20.0}},
+  };
+
+  for (const Sweep& sweep : sweeps) {
+    std::printf("sweeping %s over %zu message-load points...\n", sweep.name,
+                sweep.scales.size());
+    std::vector<double> scales;
+    for (const double s : sweep.scales) scales.push_back(s * scale);
+    const SensitivityResult result = run_sensitivity(
+        [&](double s) { return sweep.make(s); }, scales, extreme_configs(), options, threads);
+    result
+        .to_table(std::string(sweep.name) +
+                  ": max comm time relative to rand-adp (%), by message scale")
+        .print_markdown(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Automated verification of the paper's key findings (§IV-A/B/C bullet
+// lists): runs reduced-scale versions of the experiments and prints a
+// PASS/FAIL verdict per finding. This is the one binary to run to confirm
+// the reproduction holds on a new machine or after model changes.
+//
+// Exit code is the number of failed findings.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "core/interference.hpp"
+#include "core/run_matrix.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct Verdict {
+  std::string finding;
+  bool pass;
+  std::string evidence;
+};
+
+double median_of(const std::vector<ExperimentResult>& results, const std::string& config) {
+  for (const ExperimentResult& r : results)
+    if (r.config == config) return r.metrics.median_comm_ms();
+  return -1;
+}
+
+double hops_of(const std::vector<ExperimentResult>& results, const std::string& config) {
+  for (const ExperimentResult& r : results)
+    if (r.config == config) return percentile(r.metrics.avg_hops, 50);
+  return -1;
+}
+
+std::string ratio_evidence(const char* a, double va, const char* b, double vb) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s=%.3f ms vs %s=%.3f ms", a, va, b, vb);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfly;
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Findings check", "automated verification of the paper's key findings",
+                     scale, seed);
+  const int threads = bench::bench_threads();
+
+  ExperimentOptions options;
+  options.seed = seed;
+
+  std::vector<Verdict> verdicts;
+
+  // --- §IV-A: application study -------------------------------------------
+  {
+    const Workload cr = bench::cr_workload(scale);
+    const auto results = run_matrix(cr, table1_configs(), options, threads);
+    const double cont = median_of(results, "cont-min");
+    const double rand = median_of(results, "rand-min");
+    verdicts.push_back({"CR benefits from balanced traffic (rand-min < cont-min)", rand < cont,
+                        ratio_evidence("rand-min", rand, "cont-min", cont)});
+    verdicts.push_back(
+        {"localized communication reduces hops (cont-min hops < rand-min hops)",
+         hops_of(results, "cont-min") < hops_of(results, "rand-min"),
+         "hops " + Table::num(hops_of(results, "cont-min"), 2) + " vs " +
+             Table::num(hops_of(results, "rand-min"), 2)});
+  }
+  {
+    const Workload fb = bench::fb_workload(scale);
+    const auto results = run_matrix(fb, table1_configs(), options, threads);
+    const double best = median_of(results, "rand-adp");
+    bool is_best = true;
+    for (const ExperimentResult& r : results)
+      if (r.metrics.median_comm_ms() < best) is_best = false;
+    verdicts.push_back({"FB best at rand-adp", is_best,
+                        ratio_evidence("rand-adp", best, "cont-min",
+                                       median_of(results, "cont-min"))});
+  }
+  {
+    const Workload amg = bench::amg_workload(scale);
+    const auto results = run_matrix(amg, table1_configs(), options, threads);
+    const double cont_adp = median_of(results, "cont-adp");
+    const double rand_adp = median_of(results, "rand-adp");
+    const double rotr_adp = median_of(results, "rotr-adp");
+    verdicts.push_back({"AMG benefits from localized communication (cont-adp <= rand-adp)",
+                        cont_adp <= rand_adp,
+                        ratio_evidence("cont-adp", cont_adp, "rand-adp", rand_adp)});
+    verdicts.push_back({"AMG: scattering routers hurts (cont-adp < rotr-adp)",
+                        cont_adp < rotr_adp,
+                        ratio_evidence("cont-adp", cont_adp, "rotr-adp", rotr_adp)});
+  }
+
+  // --- §IV-B: sensitivity ---------------------------------------------------
+  {
+    const Workload amg_light = bench::amg_workload(scale * 0.5);
+    const Workload amg_heavy = bench::amg_workload(scale * 20);
+    const std::vector<ExperimentConfig> extremes = extreme_configs();
+    const auto light = run_matrix(amg_light, extremes, options, threads);
+    const auto heavy = run_matrix(amg_heavy, extremes, options, threads);
+    verdicts.push_back({"AMG prefers contiguous at low intensity",
+                        median_of(light, "cont-adp") <= median_of(light, "rand-adp"),
+                        ratio_evidence("cont-adp", median_of(light, "cont-adp"), "rand-adp",
+                                       median_of(light, "rand-adp"))});
+    verdicts.push_back({"AMG prefers balanced traffic at high intensity",
+                        median_of(heavy, "rand-adp") < median_of(heavy, "cont-adp"),
+                        ratio_evidence("rand-adp", median_of(heavy, "rand-adp"), "cont-adp",
+                                       median_of(heavy, "cont-adp"))});
+  }
+
+  // --- §IV-C: external interference ----------------------------------------
+  {
+    const Workload cr = bench::cr_workload(scale);
+    BackgroundSpec bursty;
+    bursty.pattern = BackgroundSpec::Pattern::Bursty;
+    bursty.message_bytes = static_cast<Bytes>(100 * units::kKB * (scale / 0.25));
+    bursty.burst_fanout = 8;
+    bursty.interval = 100 * units::kMicrosecond;
+    const std::vector<ExperimentConfig> configs = {
+        {PlacementKind::Contiguous, RoutingKind::Minimal},
+        {PlacementKind::RandomCabinet, RoutingKind::Minimal},
+        {PlacementKind::RandomNode, RoutingKind::Adaptive}};
+    const InterferenceResult result = run_interference(cr, configs, options, bursty, threads);
+    auto degradation = [&](std::size_t i) {
+      const double base = result.baseline[i].metrics.median_comm_ms();
+      return base > 0
+                 ? (result.with_background[i].metrics.median_comm_ms() - base) / base * 100.0
+                 : 0.0;
+    };
+    verdicts.push_back(
+        {"bursty background degrades balanced configs (rand-adp > 5%)", degradation(2) > 5.0,
+         "rand-adp degradation " + Table::num(degradation(2), 1) + "%"});
+    verdicts.push_back(
+        {"localized communication isolates against interference (cont-min < rand-adp degr.)",
+         degradation(0) < degradation(2),
+         "cont-min " + Table::num(degradation(0), 1) + "% vs rand-adp " +
+             Table::num(degradation(2), 1) + "%"});
+  }
+
+  Table t("Key-findings verification");
+  t.set_columns({"finding", "verdict", "evidence"});
+  int failures = 0;
+  for (const Verdict& v : verdicts) {
+    t.add_row({v.finding, v.pass ? "PASS" : "FAIL", v.evidence});
+    if (!v.pass) ++failures;
+  }
+  t.print_markdown(std::cout);
+  std::printf("%d/%zu findings reproduced\n", static_cast<int>(verdicts.size()) - failures,
+              verdicts.size());
+  return failures;
+}

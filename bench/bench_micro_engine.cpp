@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: event
+// scheduling/dispatch, route computation, topology construction, placement
+// generation, and end-to-end network throughput in events per second.
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "place/placement.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/minimal.hpp"
+#include "routing/valiant.hpp"
+#include "sim/engine.hpp"
+
+namespace dfly {
+namespace {
+
+class NullHandler : public EventHandler {
+ public:
+  void handle_event(SimTime, const EventPayload&) override {}
+};
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  NullHandler handler;
+  for (auto _ : state) {
+    Engine engine;
+    Rng rng(1);
+    for (std::uint64_t i = 0; i < events; ++i)
+      engine.schedule(static_cast<SimTime>(rng.uniform(1'000'000)), &handler, EventPayload{});
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 14)->Arg(1 << 17);
+
+class IdleCongestion : public CongestionView {
+ public:
+  Bytes queued_bytes(RouterId, int) const override { return 0; }
+};
+
+template <typename Algorithm>
+void route_benchmark(benchmark::State& state) {
+  static const DragonflyTopology topo(TopoParams::theta());
+  const Algorithm routing(topo);
+  IdleCongestion idle;
+  Rng rng(7);
+  const int nodes = topo.params().total_nodes();
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.uniform(nodes));
+    auto dst = static_cast<NodeId>(rng.uniform(nodes - 1));
+    if (dst >= src) ++dst;
+    benchmark::DoNotOptimize(routing.compute(src, dst, idle, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MinimalRoute(benchmark::State& state) { route_benchmark<MinimalRouting>(state); }
+void BM_ValiantRoute(benchmark::State& state) { route_benchmark<ValiantRouting>(state); }
+void BM_AdaptiveRoute(benchmark::State& state) { route_benchmark<AdaptiveRouting>(state); }
+BENCHMARK(BM_MinimalRoute);
+BENCHMARK(BM_ValiantRoute);
+BENCHMARK(BM_AdaptiveRoute);
+
+void BM_ThetaTopologyBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    DragonflyTopology topo(TopoParams::theta());
+    benchmark::DoNotOptimize(topo.total_channels());
+  }
+}
+BENCHMARK(BM_ThetaTopologyBuild);
+
+void BM_Placement(benchmark::State& state) {
+  const TopoParams params = TopoParams::theta();
+  const auto kind = static_cast<PlacementKind>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_placement(kind, params, 1000, rng));
+  }
+}
+BENCHMARK(BM_Placement)->DenseRange(0, 4);
+
+void BM_NetworkRandomTraffic(benchmark::State& state) {
+  // End-to-end events/sec: 2000 random messages of 16 KiB on Theta.
+  static const DragonflyTopology topo(TopoParams::theta());
+  for (auto _ : state) {
+    Engine engine;
+    MinimalRouting routing(topo);
+    Network network(engine, topo, NetworkParams::theta(), routing, Rng(3));
+    Rng traffic(5);
+    const int nodes = topo.params().total_nodes();
+    for (int i = 0; i < 2000; ++i) {
+      const auto src = static_cast<NodeId>(traffic.uniform(nodes));
+      auto dst = static_cast<NodeId>(traffic.uniform(nodes - 1));
+      if (dst >= src) ++dst;
+      network.send(src, dst, 16 * units::kKiB);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(network.bytes_delivered());
+    state.counters["events"] = static_cast<double>(engine.events_processed());
+  }
+}
+BENCHMARK(BM_NetworkRandomTraffic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dfly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Shared driver for Figs. 4-6: run one application over the full Table I
+// matrix and print the per-channel CDF tables (hops, traffic, saturation).
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace dfly::bench {
+
+struct NetworkFigurePanels {
+  bool hops = false;          // Fig. 4(a) — only shown for CR in the paper
+  bool local_traffic = true;  // Figs. 4(b)/5(a)/6(a)
+  bool global_traffic = true; // Figs. 5(c)/6(c)
+  bool local_saturation = true;
+  bool global_saturation = true;
+};
+
+/// One figure = one app, ten configs, several CDF panels. Each table row is a
+/// configuration, each column a channel-population quantile — the transposed
+/// reading of the paper's "percentage of channels vs amount" curves.
+inline void run_network_figure(const Workload& workload, const ExperimentOptions& options,
+                               const NetworkFigurePanels& panels) {
+  std::printf("running %s (%d ranks, %.1f MB total)...\n", workload.name.c_str(),
+              workload.trace.ranks(), units::to_mb(workload.trace.total_send_bytes()));
+  const std::vector<NamedMetrics> named = run_and_report_matrix(workload, options, bench_threads());
+  const std::vector<double>& fr = standard_cdf_fractions();
+  if (panels.hops)
+    cdf_table(workload.name + ": average hops per rank (CDF quantiles)", named, fr,
+              select_avg_hops)
+        .print_markdown(std::cout);
+  if (panels.local_traffic)
+    cdf_table(workload.name + ": local channel traffic MB (CDF quantiles)", named, fr,
+              select_local_traffic)
+        .print_markdown(std::cout);
+  if (panels.global_traffic)
+    cdf_table(workload.name + ": global channel traffic MB (CDF quantiles)", named, fr,
+              select_global_traffic)
+        .print_markdown(std::cout);
+  if (panels.local_saturation)
+    cdf_table(workload.name + ": local link saturation ms (CDF quantiles)", named, fr,
+              select_local_saturation, 4)
+        .print_markdown(std::cout);
+  if (panels.global_saturation)
+    cdf_table(workload.name + ": global link saturation ms (CDF quantiles)", named, fr,
+              select_global_saturation, 4)
+        .print_markdown(std::cout);
+}
+
+}  // namespace dfly::bench

@@ -1,0 +1,65 @@
+// Example: watch congestion evolve in time while a bursty background job
+// shares the machine with a target application — the dynamics behind the
+// paper's Figs. 9-10, as a timeline instead of end-of-run aggregates.
+//
+// Usage: congestion_timeline [app_ranks] [burst_KiB] [sample_us]
+//   defaults: 512, 256, 10
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "metrics/timeline.hpp"
+#include "place/placement.hpp"
+#include "replay/replay.hpp"
+#include "routing/adaptive.hpp"
+#include "workload/background.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfly;
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 512;
+  const Bytes burst = (argc > 2 ? std::atoll(argv[2]) : 256) * units::kKiB;
+  const SimTime sample = (argc > 3 ? std::atoll(argv[3]) : 10) * units::kMicrosecond;
+
+  const TopoParams params = TopoParams::theta();
+  const DragonflyTopology topo(params);
+  Engine engine;
+  AdaptiveRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+
+  // Target app: 3 ring sweeps on a random-node placement.
+  const Trace trace = make_ring_trace(ranks, 128 * units::kKiB, 3);
+  Rng rng(2);
+  const Placement placement = make_placement(PlacementKind::RandomNode, params, ranks, rng);
+  ReplayEngine replay(engine, network, trace, placement);
+
+  // Bursty neighbor on everything else.
+  BackgroundSpec spec;
+  spec.pattern = BackgroundSpec::Pattern::Bursty;
+  spec.message_bytes = burst;
+  spec.burst_fanout = 8;
+  spec.interval = 100 * units::kMicrosecond;
+  BackgroundDriver background(engine, network, remaining_nodes(params, placement), spec, Rng(3));
+
+  TimelineSampler sampler(engine, network, sample);
+  replay.set_completion_callback([&](SimTime) {
+    background.request_stop();
+    sampler.request_stop();
+  });
+
+  std::printf("app: %d-rank ring | background: %lld KiB x%d bursts every %.1f ms | sampling %lld us\n",
+              ranks, static_cast<long long>(burst / units::kKiB), spec.burst_fanout,
+              units::to_ms(spec.interval), static_cast<long long>(sample / units::kMicrosecond));
+
+  sampler.start();
+  background.start();
+  replay.start();
+  engine.run();
+
+  sampler.to_table("Network state over time (bursts appear as queue spikes)")
+      .print_markdown(std::cout);
+  std::printf("app finished at %.3f ms; background issued %.1f MB in %llu bursts\n",
+              units::to_ms(replay.rank_finish_time(0)), units::to_mb(background.bytes_issued()),
+              static_cast<unsigned long long>(background.ticks()));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Experiment configuration files (INI-style), in the spirit of CODES'
+// network config files: every topology/network/experiment parameter of
+// ExperimentOptions can be set from a text file, so studies are runnable
+// without recompiling.
+//
+//   # dragonfly-tradeoff config
+//   [topology]
+//   groups = 9
+//   rows = 6
+//   cols = 16
+//   nodes_per_router = 4
+//   global_ports_per_router = 10
+//
+//   [network]
+//   chunk_bytes = 2048
+//   local_bandwidth_gib = 5.25
+//   router_delay_ns = 500
+//
+//   [experiment]
+//   seed = 42
+//   msg_scale = 0.25
+//   eager_threshold = 65536
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dfly {
+
+/// Parses a config stream into ExperimentOptions, starting from the given
+/// defaults. Throws std::runtime_error with a line number on malformed input
+/// or unknown keys.
+ExperimentOptions parse_config(std::istream& is, ExperimentOptions defaults = {});
+
+/// File variant; throws std::runtime_error on I/O failure.
+ExperimentOptions load_config(const std::string& path, ExperimentOptions defaults = {});
+
+/// Renders `options` as a config file (parse(render(x)) == x); doubles as
+/// the reference documentation for every supported key.
+std::string render_config(const ExperimentOptions& options);
+
+}  // namespace dfly

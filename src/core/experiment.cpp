@@ -1,0 +1,81 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "replay/replay.hpp"
+#include "sim/engine.hpp"
+
+namespace dfly {
+
+std::vector<ExperimentConfig> table1_configs() {
+  std::vector<ExperimentConfig> configs;
+  for (const RoutingKind routing : {RoutingKind::Minimal, RoutingKind::Adaptive})
+    for (const PlacementKind placement : kAllPlacements)
+      configs.push_back(ExperimentConfig{placement, routing});
+  return configs;
+}
+
+std::vector<ExperimentConfig> extreme_configs() {
+  return {ExperimentConfig{PlacementKind::Contiguous, RoutingKind::Minimal},
+          ExperimentConfig{PlacementKind::RandomNode, RoutingKind::Minimal},
+          ExperimentConfig{PlacementKind::Contiguous, RoutingKind::Adaptive},
+          ExperimentConfig{PlacementKind::RandomNode, RoutingKind::Adaptive}};
+}
+
+ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig& config,
+                                const ExperimentOptions& options,
+                                const DragonflyTopology* shared_topo) {
+  // Optionally reuse a caller-built topology (it is immutable and thread-safe
+  // to share across concurrent experiments).
+  std::optional<DragonflyTopology> local_topo;
+  if (shared_topo == nullptr) {
+    local_topo.emplace(options.topo);
+    shared_topo = &*local_topo;
+  }
+  const DragonflyTopology& topo = *shared_topo;
+
+  // The RNG tree: placement draws depend on (seed, placement kind) only, so a
+  // given policy selects the same nodes under minimal and adaptive routing —
+  // the comparison the paper makes. Network/background streams get their own
+  // forks.
+  Rng master(options.seed);
+  Rng placement_rng(options.seed ^ (static_cast<std::uint64_t>(config.placement) + 0x1000));
+  const Placement placement =
+      make_placement(config.placement, options.topo, workload.trace.ranks(), placement_rng);
+
+  Trace trace = workload.trace;  // scaling mutates; keep the workload pristine
+  if (options.msg_scale != 1.0) trace.scale_message_sizes(options.msg_scale);
+
+  Engine engine;
+  if (options.max_events) engine.set_event_limit(options.max_events);
+  const std::unique_ptr<RoutingAlgorithm> routing = make_routing(config.routing, topo);
+  Network network(engine, topo, options.net, *routing, master.fork(1));
+  ReplayEngine replay(engine, network, trace, placement, options.replay);
+
+  std::optional<BackgroundDriver> background;
+  if (options.background) {
+    std::vector<NodeId> rest = remaining_nodes(options.topo, placement);
+    background.emplace(engine, network, std::move(rest), *options.background, master.fork(2));
+    replay.set_completion_callback([&background](SimTime) { background->request_stop(); });
+    background->start();
+  }
+
+  replay.start();
+  engine.run();
+  network.finalize(engine.now());
+
+  if (!replay.finished() && !engine.hit_event_limit())
+    throw std::runtime_error("experiment deadlocked: engine drained with " +
+                             std::to_string(replay.finished_ranks()) + "/" +
+                             std::to_string(trace.ranks()) + " ranks finished (" + config.name() +
+                             ")");
+
+  ExperimentResult result;
+  result.config = config.name();
+  result.metrics = collect_metrics(network, replay, placement, engine);
+  result.background_bytes = background ? background->bytes_issued() : 0;
+  result.hit_event_limit = engine.hit_event_limit();
+  return result;
+}
+
+}  // namespace dfly

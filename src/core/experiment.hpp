@@ -1,0 +1,63 @@
+// The paper's experiment harness: a configuration is a (placement policy,
+// routing mechanism) pair (Table I); an experiment runs one application
+// workload alone — or with a background job — on the Theta-like system and
+// yields RunMetrics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "net/params.hpp"
+#include "replay/replay.hpp"
+#include "place/placement.hpp"
+#include "routing/algorithm.hpp"
+#include "topo/dragonfly.hpp"
+#include "workload/background.hpp"
+#include "workload/workload.hpp"
+
+namespace dfly {
+
+struct ExperimentConfig {
+  PlacementKind placement = PlacementKind::Contiguous;
+  RoutingKind routing = RoutingKind::Minimal;
+
+  /// Table I nomenclature: "cont-min", "rand-adp", ...
+  std::string name() const {
+    return std::string(to_string(placement)) + "-" + to_string(routing);
+  }
+};
+
+/// The full 5 x 2 configuration matrix of Table I, in the paper's order
+/// (all placements with minimal routing, then all with adaptive).
+std::vector<ExperimentConfig> table1_configs();
+
+/// The four extreme configurations used by the sensitivity study (§IV-B).
+std::vector<ExperimentConfig> extreme_configs();
+
+struct ExperimentOptions {
+  TopoParams topo = TopoParams::theta();
+  NetworkParams net = NetworkParams::theta();
+  std::uint64_t seed = 42;
+  double msg_scale = 1.0;  ///< multiplies every trace message size
+  ReplayOptions replay;    ///< eager/rendezvous protocol knobs
+  std::optional<BackgroundSpec> background;
+  std::uint64_t max_events = 0;  ///< 0 = unlimited; watchdog for tests
+};
+
+struct ExperimentResult {
+  std::string config;
+  RunMetrics metrics;
+  Bytes background_bytes = 0;
+  bool hit_event_limit = false;
+};
+
+/// Runs `workload` under `config`. If `shared_topo` is non-null it must match
+/// options.topo and is reused (topology construction is the only sizable
+/// fixed cost); otherwise a topology is built locally.
+ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig& config,
+                                const ExperimentOptions& options,
+                                const DragonflyTopology* shared_topo = nullptr);
+
+}  // namespace dfly

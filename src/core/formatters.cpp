@@ -1,0 +1,62 @@
+#include "core/formatters.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dfly {
+
+Table table1_nomenclature() {
+  Table t("Table I: placement x routing nomenclature");
+  t.set_columns({"placement policy", "minimal routing", "adaptive routing"});
+  const char* names[] = {"Contiguous", "Random-cabinet", "Random-chassis", "Random-router",
+                         "Random-node"};
+  int i = 0;
+  for (const PlacementKind placement : kAllPlacements) {
+    const std::string base = to_string(placement);
+    t.add_row({names[i++], base + "-min", base + "-adp"});
+  }
+  return t;
+}
+
+const std::vector<double>& standard_cdf_fractions() {
+  static const std::vector<double> fractions = {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00};
+  return fractions;
+}
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0) ? parsed : fallback;
+}
+
+}  // namespace
+
+double env_scale(double fallback) { return env_double("DFLY_SCALE", fallback); }
+
+std::uint64_t env_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(env_double("DFLY_SEED", static_cast<double>(fallback)));
+}
+
+int env_threads(int fallback) {
+  return static_cast<int>(env_double("DFLY_THREADS", fallback));
+}
+
+void print_bench_header(const std::string& id, const std::string& what, double scale,
+                        std::uint64_t seed) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("Paper: Trade-Off Study of Localizing Communication and Balancing\n");
+  std::printf("       Network Traffic on a Dragonfly System (IPDPS 2018)\n");
+  std::printf("message-volume scale=%.3g (env DFLY_SCALE), seed=%llu (env DFLY_SEED)\n", scale,
+              static_cast<unsigned long long>(seed));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dfly

@@ -1,0 +1,49 @@
+#include "core/interference.hpp"
+
+#include "core/run_matrix.hpp"
+
+namespace dfly {
+
+Table InterferenceResult::degradation_table(const std::string& title) const {
+  Table t(title);
+  t.set_columns({"config", "median comm (ms)", "median no-bg (ms)", "degradation (%)",
+                 "max comm (ms)", "max no-bg (ms)"});
+  for (std::size_t i = 0; i < with_background.size(); ++i) {
+    const RunMetrics& bg = with_background[i].metrics;
+    const RunMetrics& base = baseline[i].metrics;
+    const double med_bg = bg.median_comm_ms();
+    const double med_base = base.median_comm_ms();
+    const double degradation = med_base > 0 ? 100.0 * (med_bg - med_base) / med_base : 0.0;
+    t.add_row({with_background[i].config, Table::num(med_bg, 3), Table::num(med_base, 3),
+               Table::num(degradation, 1), Table::num(bg.max_comm_ms(), 3),
+               Table::num(base.max_comm_ms(), 3)});
+  }
+  return t;
+}
+
+InterferenceResult run_interference(const Workload& workload,
+                                    const std::vector<ExperimentConfig>& configs,
+                                    const ExperimentOptions& options, const BackgroundSpec& spec,
+                                    int threads) {
+  InterferenceResult result;
+
+  ExperimentOptions with_bg = options;
+  with_bg.background = spec;
+  const std::vector<ExperimentResult> bg_runs = run_matrix(workload, configs, with_bg, threads);
+
+  ExperimentOptions without_bg = options;
+  without_bg.background.reset();
+  const std::vector<ExperimentResult> base_runs =
+      run_matrix(workload, configs, without_bg, threads);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    result.with_background.push_back(NamedMetrics{bg_runs[i].config, bg_runs[i].metrics});
+    result.baseline.push_back(NamedMetrics{base_runs[i].config, base_runs[i].metrics});
+  }
+  const std::size_t bg_nodes =
+      static_cast<std::size_t>(options.topo.total_nodes() - workload.trace.ranks());
+  result.peak_background_load = spec.peak_load(bg_nodes);
+  return result;
+}
+
+}  // namespace dfly

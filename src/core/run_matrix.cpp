@@ -1,0 +1,48 @@
+#include "core/run_matrix.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dfly {
+
+std::vector<ExperimentResult> run_matrix(const Workload& workload,
+                                         const std::vector<ExperimentConfig>& configs,
+                                         const ExperimentOptions& options, int threads) {
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(configs.size()));
+
+  const DragonflyTopology topo(options.topo);
+  std::vector<ExperimentResult> results(configs.size());
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      try {
+        results[i] = run_experiment(workload, configs[i], options, &topo);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace dfly

@@ -1,0 +1,21 @@
+// Parallel execution of a configuration matrix.
+//
+// Each (placement, routing) experiment is an independent sequential
+// simulation; the study's sweeps parallelize perfectly across
+// configurations. A small worker pool shares one immutable topology.
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dfly {
+
+/// Runs `workload` under every config, in parallel over `threads` workers
+/// (0 = hardware concurrency). Results are returned in `configs` order.
+/// Exceptions from worker runs are rethrown on the calling thread.
+std::vector<ExperimentResult> run_matrix(const Workload& workload,
+                                         const std::vector<ExperimentConfig>& configs,
+                                         const ExperimentOptions& options, int threads = 0);
+
+}  // namespace dfly

@@ -1,0 +1,34 @@
+// Sensitivity study driver (paper §IV-B, Fig. 7): sweep the message-size
+// scale and report, per configuration, the maximum per-rank communication
+// time relative to the rand-adp baseline at the same scale.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace dfly {
+
+struct SensitivityPoint {
+  double scale;
+  std::string config;
+  double max_comm_ms;
+  double relative_to_baseline_pct;  ///< 100 * max_comm / max_comm(rand-adp)
+};
+
+struct SensitivityResult {
+  std::vector<SensitivityPoint> points;
+  Table to_table(const std::string& title) const;
+};
+
+/// `make_workload(scale)` must return the workload already scaled (the paper
+/// scales "message size relative to the original"); options.msg_scale is
+/// ignored here. Configurations always include rand-adp as the baseline.
+SensitivityResult run_sensitivity(const std::function<Workload(double)>& make_workload,
+                                  const std::vector<double>& scales,
+                                  const std::vector<ExperimentConfig>& configs,
+                                  const ExperimentOptions& options, int threads = 0);
+
+}  // namespace dfly

@@ -1,0 +1,58 @@
+#include "metrics/report.hpp"
+
+#include "util/stats.hpp"
+
+namespace dfly {
+
+Table comm_time_box_table(const std::string& title, const std::vector<NamedMetrics>& runs) {
+  Table t(title);
+  t.set_columns({"config", "min (ms)", "q1 (ms)", "median (ms)", "q3 (ms)", "max (ms)"});
+  for (const NamedMetrics& run : runs) {
+    const BoxStats b = box_stats(run.metrics.comm_time_ms);
+    t.add_row({run.config, Table::num(b.min, 3), Table::num(b.q1, 3), Table::num(b.median, 3),
+               Table::num(b.q3, 3), Table::num(b.max, 3)});
+  }
+  return t;
+}
+
+Table cdf_table(const std::string& title, const std::vector<NamedMetrics>& runs,
+                const std::vector<double>& fractions,
+                const std::vector<double>& (*select)(const RunMetrics&), int precision) {
+  Table t(title);
+  std::vector<std::string> headers = {"config"};
+  for (const double f : fractions) headers.push_back("p" + Table::num(100.0 * f, 0));
+  t.set_columns(std::move(headers));
+  for (const NamedMetrics& run : runs) {
+    const Cdf cdf(select(run.metrics));
+    std::vector<std::string> row = {run.config};
+    for (const double f : fractions) row.push_back(Table::num(cdf.quantile(f), precision));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+const std::vector<double>& select_avg_hops(const RunMetrics& m) { return m.avg_hops; }
+const std::vector<double>& select_local_traffic(const RunMetrics& m) { return m.local_traffic_mb; }
+const std::vector<double>& select_global_traffic(const RunMetrics& m) {
+  return m.global_traffic_mb;
+}
+const std::vector<double>& select_local_saturation(const RunMetrics& m) {
+  return m.local_saturation_ms;
+}
+const std::vector<double>& select_global_saturation(const RunMetrics& m) {
+  return m.global_saturation_ms;
+}
+
+Table summary_table(const std::string& title, const std::vector<NamedMetrics>& runs) {
+  Table t(title);
+  t.set_columns({"config", "makespan (ms)", "median comm (ms)", "events", "delivered (MB)"});
+  for (const NamedMetrics& run : runs) {
+    t.add_row({run.config, Table::num(run.metrics.makespan_ms, 3),
+               Table::num(run.metrics.median_comm_ms(), 3),
+               Table::num(static_cast<std::int64_t>(run.metrics.events)),
+               Table::num(units::to_mb(run.metrics.bytes_delivered), 1)});
+  }
+  return t;
+}
+
+}  // namespace dfly

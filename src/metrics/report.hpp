@@ -1,0 +1,40 @@
+// Report assembly: turns per-configuration RunMetrics into the tables that
+// mirror the paper's figures (box plots as five-number rows, CDFs as quantile
+// grids).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "util/table.hpp"
+
+namespace dfly {
+
+struct NamedMetrics {
+  std::string config;  ///< Table I nomenclature, e.g. "cont-min"
+  RunMetrics metrics;
+};
+
+/// Fig. 3 analogue: one row per configuration with the five-number summary of
+/// per-rank communication time (ms).
+Table comm_time_box_table(const std::string& title, const std::vector<NamedMetrics>& runs);
+
+/// CDF grid: one row per configuration, columns = value at the given
+/// cumulative fractions. Used for the hops / traffic / saturation CDF panels
+/// of Figs. 4-6 and 8-10. `select` picks the sample vector from RunMetrics.
+Table cdf_table(const std::string& title, const std::vector<NamedMetrics>& runs,
+                const std::vector<double>& fractions,
+                const std::vector<double>& (*select)(const RunMetrics&), int precision = 2);
+
+/// Convenience selectors for cdf_table.
+const std::vector<double>& select_avg_hops(const RunMetrics& m);
+const std::vector<double>& select_local_traffic(const RunMetrics& m);
+const std::vector<double>& select_global_traffic(const RunMetrics& m);
+const std::vector<double>& select_local_saturation(const RunMetrics& m);
+const std::vector<double>& select_global_saturation(const RunMetrics& m);
+
+/// Summary row set: makespan, median, events, delivered bytes per config.
+Table summary_table(const std::string& title, const std::vector<NamedMetrics>& runs);
+
+}  // namespace dfly

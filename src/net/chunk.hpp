@@ -1,0 +1,54 @@
+// Packet chunks and their pool.
+//
+// A chunk is the unit of transfer, arbitration and buffering. Chunks are
+// pool-allocated and recycled at delivery; ChunkId is a stable index into the
+// pool, small enough to travel inside an EventPayload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/route.hpp"
+#include "util/units.hpp"
+
+namespace dfly {
+
+using ChunkId = std::uint32_t;
+using MsgId = std::uint32_t;
+
+struct Chunk {
+  MsgId msg = 0;
+  std::int32_t bytes = 0;
+  std::int8_t hop_idx = 0;  ///< index of the route hop whose router holds the chunk
+  Route route;
+};
+
+class ChunkPool {
+ public:
+  ChunkId allocate() {
+    if (!free_.empty()) {
+      const ChunkId id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    chunks_.emplace_back();
+    return static_cast<ChunkId>(chunks_.size() - 1);
+  }
+
+  void release(ChunkId id) {
+    chunks_[id] = Chunk{};
+    free_.push_back(id);
+  }
+
+  Chunk& operator[](ChunkId id) { return chunks_[id]; }
+  const Chunk& operator[](ChunkId id) const { return chunks_[id]; }
+
+  std::size_t capacity() const { return chunks_.size(); }
+  std::size_t in_use() const { return chunks_.size() - free_.size(); }
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::vector<ChunkId> free_;
+};
+
+}  // namespace dfly

@@ -1,0 +1,18 @@
+#include "net/router.hpp"
+
+namespace dfly {
+
+Router::Router(const DragonflyTopology& topo, const NetworkParams& params, RouterId /*id*/,
+               int num_vcs) {
+  ports_.resize(topo.ports_per_router());
+  for (int p = 0; p < topo.ports_per_router(); ++p) {
+    OutPort& op = ports_[p];
+    op.kind = topo.port_kind(p);
+    if (!op.is_terminal()) {
+      // Downstream input buffer: one buffer per VC, sized by channel kind.
+      op.credits.assign(num_vcs, params.vc_buffer(op.kind));
+    }
+  }
+}
+
+}  // namespace dfly

@@ -1,0 +1,70 @@
+#include "place/mapping.hpp"
+
+#include <algorithm>
+
+namespace dfly {
+
+const char* to_string(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::Linear: return "linear";
+    case MappingKind::Random: return "random";
+    case MappingKind::GroupBlocked: return "group-blocked";
+    case MappingKind::RouterSpread: return "router-spread";
+  }
+  return "?";
+}
+
+Placement apply_mapping(const Placement& placement, MappingKind kind, const TopoParams& params,
+                        Rng& rng) {
+  const Coordinates coords(params);
+  std::vector<NodeId> nodes = placement.nodes();
+  std::sort(nodes.begin(), nodes.end());
+
+  switch (kind) {
+    case MappingKind::Linear:
+      break;
+    case MappingKind::Random:
+      rng.shuffle(nodes);
+      break;
+    case MappingKind::GroupBlocked: {
+      // Stable sort by group keeps node-id order inside each group; node-id
+      // order already encodes (group, row, col, slot), so a plain sort is
+      // group-blocked — the distinction matters only for sparse random
+      // allocations, where we additionally rotate groups to start from the
+      // group holding the most allocated nodes (densest locality first).
+      std::vector<int> count(params.groups, 0);
+      for (const NodeId n : nodes) ++count[coords.group_of_node(n)];
+      const int densest = static_cast<int>(
+          std::max_element(count.begin(), count.end()) - count.begin());
+      std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+        const int ga = (coords.group_of_node(a) - densest + params.groups) % params.groups;
+        const int gb = (coords.group_of_node(b) - densest + params.groups) % params.groups;
+        if (ga != gb) return ga < gb;
+        return a < b;
+      });
+      break;
+    }
+    case MappingKind::RouterSpread: {
+      // Deal nodes round-robin across routers: rank-adjacent ranks land on
+      // different routers, spreading neighbor traffic over many channels.
+      std::vector<std::pair<int, NodeId>> keyed;  // (position within router, node)
+      keyed.reserve(nodes.size());
+      RouterId prev_router = -1;
+      int slot = 0;
+      for (const NodeId n : nodes) {
+        const RouterId r = coords.router_of_node(n);
+        slot = (r == prev_router) ? slot + 1 : 0;
+        prev_router = r;
+        keyed.emplace_back(slot, n);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      nodes.clear();
+      for (const auto& [s, n] : keyed) nodes.push_back(n);
+      break;
+    }
+  }
+  return Placement(placement.kind(), std::move(nodes), params.total_nodes());
+}
+
+}  // namespace dfly

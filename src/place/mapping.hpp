@@ -1,0 +1,35 @@
+// Task mapping: reordering ranks over an already-allocated node set.
+//
+// The paper's future work ("we plan to investigate task mapping for
+// diversified workloads"): once the scheduler has picked the nodes
+// (Placement), the runtime may still permute which rank lands on which node.
+// For neighbor-heavy applications this changes how much rank-adjacent
+// communication stays near in the machine, independent of the allocation
+// shape.
+#pragma once
+
+#include "place/placement.hpp"
+#include "topo/coordinates.hpp"
+#include "util/rng.hpp"
+
+namespace dfly {
+
+enum class MappingKind {
+  Linear,        ///< rank i -> i-th allocated node in node-id order (default)
+  Random,        ///< random permutation of ranks over the allocated nodes
+  GroupBlocked,  ///< consecutive ranks fill one group's nodes before the next
+  RouterSpread,  ///< consecutive ranks round-robin across the allocated routers
+};
+
+const char* to_string(MappingKind kind);
+
+inline constexpr MappingKind kAllMappings[] = {MappingKind::Linear, MappingKind::Random,
+                                               MappingKind::GroupBlocked,
+                                               MappingKind::RouterSpread};
+
+/// Returns a placement over the same node set with ranks remapped according
+/// to `kind`. Linear sorts by node id; Random consumes `rng`.
+Placement apply_mapping(const Placement& placement, MappingKind kind, const TopoParams& params,
+                        Rng& rng);
+
+}  // namespace dfly

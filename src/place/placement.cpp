@@ -1,0 +1,131 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dfly {
+
+const char* to_string(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::Contiguous: return "cont";
+    case PlacementKind::RandomCabinet: return "cab";
+    case PlacementKind::RandomChassis: return "chas";
+    case PlacementKind::RandomRouter: return "rotr";
+    case PlacementKind::RandomNode: return "rand";
+  }
+  return "?";
+}
+
+Placement::Placement(PlacementKind kind, std::vector<NodeId> rank_to_node, int total_nodes)
+    : kind_(kind), rank_to_node_(std::move(rank_to_node)), node_to_rank_(total_nodes, -1) {
+  for (std::size_t rank = 0; rank < rank_to_node_.size(); ++rank) {
+    const NodeId node = rank_to_node_[rank];
+    if (node < 0 || node >= total_nodes) throw std::invalid_argument("placement: node out of range");
+    if (node_to_rank_[node] != -1) throw std::invalid_argument("placement: node assigned twice");
+    node_to_rank_[node] = static_cast<std::int32_t>(rank);
+  }
+}
+
+namespace {
+
+/// Shared scheme of the random-<unit> policies: shuffle the units present in
+/// the available set, then assign nodes contiguously (by id) within each unit
+/// until `ranks` nodes are chosen.
+template <typename UnitOf>
+std::vector<NodeId> pick_by_unit(std::span<const NodeId> available, int ranks, Rng& rng,
+                                 UnitOf unit_of) {
+  // Bucket available nodes per unit, preserving id order within a unit.
+  std::vector<NodeId> sorted(available.begin(), available.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> units;
+  std::vector<std::vector<NodeId>> members;
+  for (const NodeId n : sorted) {
+    const int u = unit_of(n);
+    if (units.empty() || units.back() != u) {
+      units.push_back(u);
+      members.emplace_back();
+    }
+    members.back().push_back(n);
+  }
+  std::vector<std::size_t> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<NodeId> picked;
+  picked.reserve(ranks);
+  for (const std::size_t u : order) {
+    for (const NodeId n : members[u]) {
+      if (static_cast<int>(picked.size()) == ranks) return picked;
+      picked.push_back(n);
+    }
+    if (static_cast<int>(picked.size()) == ranks) break;
+  }
+  return picked;
+}
+
+}  // namespace
+
+Placement make_placement(PlacementKind kind, const TopoParams& params, int ranks,
+                         std::span<const NodeId> available, Rng& rng) {
+  if (static_cast<int>(available.size()) < ranks)
+    throw std::invalid_argument("placement: not enough available nodes");
+  const Coordinates coords(params);
+  std::vector<NodeId> picked;
+  switch (kind) {
+    case PlacementKind::Contiguous: {
+      picked.assign(available.begin(), available.end());
+      std::sort(picked.begin(), picked.end());
+      picked.resize(ranks);
+      break;
+    }
+    case PlacementKind::RandomCabinet:
+      picked = pick_by_unit(available, ranks, rng, [&](NodeId n) {
+        return coords.cabinet_of_router(coords.router_of_node(n));
+      });
+      break;
+    case PlacementKind::RandomChassis:
+      picked = pick_by_unit(available, ranks, rng, [&](NodeId n) {
+        return coords.chassis_of_router(coords.router_of_node(n));
+      });
+      break;
+    case PlacementKind::RandomRouter:
+      picked = pick_by_unit(available, ranks, rng,
+                            [&](NodeId n) { return coords.router_of_node(n); });
+      break;
+    case PlacementKind::RandomNode: {
+      picked.assign(available.begin(), available.end());
+      std::sort(picked.begin(), picked.end());
+      rng.shuffle(picked);
+      picked.resize(ranks);
+      break;
+    }
+  }
+  return Placement(kind, std::move(picked), params.total_nodes());
+}
+
+Placement make_placement(PlacementKind kind, const TopoParams& params, int ranks, Rng& rng) {
+  std::vector<NodeId> all(params.total_nodes());
+  std::iota(all.begin(), all.end(), 0);
+  return make_placement(kind, params, ranks, all, rng);
+}
+
+std::vector<NodeId> remaining_nodes(const TopoParams& params, const Placement& placement) {
+  std::vector<NodeId> rest;
+  rest.reserve(params.total_nodes() - placement.ranks());
+  for (NodeId n = 0; n < params.total_nodes(); ++n)
+    if (!placement.contains_node(n)) rest.push_back(n);
+  return rest;
+}
+
+std::vector<RouterId> serving_routers(const TopoParams& params, const Placement& placement) {
+  const Coordinates coords(params);
+  std::vector<char> seen(params.total_routers(), 0);
+  for (const NodeId n : placement.nodes()) seen[coords.router_of_node(n)] = 1;
+  std::vector<RouterId> routers;
+  for (RouterId r = 0; r < params.total_routers(); ++r)
+    if (seen[r]) routers.push_back(r);
+  return routers;
+}
+
+}  // namespace dfly

@@ -1,0 +1,61 @@
+// Job placement policies (paper §III-B).
+//
+// A placement assigns each MPI rank to one compute node (the paper maps one
+// rank per node). The five policies differ in the granularity of the unit
+// that stays contiguous: the whole allocation (contiguous), a cabinet, a
+// chassis, a router, or nothing (random-node).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/coordinates.hpp"
+#include "util/rng.hpp"
+
+namespace dfly {
+
+enum class PlacementKind { Contiguous, RandomCabinet, RandomChassis, RandomRouter, RandomNode };
+
+const char* to_string(PlacementKind kind);
+
+inline constexpr PlacementKind kAllPlacements[] = {
+    PlacementKind::Contiguous, PlacementKind::RandomCabinet, PlacementKind::RandomChassis,
+    PlacementKind::RandomRouter, PlacementKind::RandomNode};
+
+class Placement {
+ public:
+  Placement(PlacementKind kind, std::vector<NodeId> rank_to_node, int total_nodes);
+
+  PlacementKind kind() const { return kind_; }
+  int ranks() const { return static_cast<int>(rank_to_node_.size()); }
+  NodeId node_of_rank(int rank) const { return rank_to_node_[rank]; }
+  /// Rank on `node`, or -1 if the node is not part of this job.
+  int rank_of_node(NodeId node) const { return node_to_rank_[node]; }
+  bool contains_node(NodeId node) const { return node_to_rank_[node] >= 0; }
+  const std::vector<NodeId>& nodes() const { return rank_to_node_; }
+
+ private:
+  PlacementKind kind_;
+  std::vector<NodeId> rank_to_node_;
+  std::vector<std::int32_t> node_to_rank_;
+};
+
+/// Builds a placement of `ranks` ranks over `available` nodes (which must
+/// contain at least `ranks` entries) of the system described by `params`.
+/// Randomized policies consume `rng`; contiguous ignores it.
+Placement make_placement(PlacementKind kind, const TopoParams& params, int ranks,
+                         std::span<const NodeId> available, Rng& rng);
+
+/// Convenience: placement over all nodes of the system.
+Placement make_placement(PlacementKind kind, const TopoParams& params, int ranks, Rng& rng);
+
+/// The nodes of the system NOT used by `placement` — where the paper's
+/// synthetic background job runs.
+std::vector<NodeId> remaining_nodes(const TopoParams& params, const Placement& placement);
+
+/// Routers that serve at least one node of the placement (the channel
+/// population of the paper's traffic/saturation CDFs).
+std::vector<RouterId> serving_routers(const TopoParams& params, const Placement& placement);
+
+}  // namespace dfly

@@ -1,0 +1,82 @@
+#include "routing/adaptive.hpp"
+
+#include "routing/adaptive_global.hpp"
+#include "routing/minimal.hpp"
+#include "routing/valiant.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+AdaptiveRouting::AdaptiveRouting(const DragonflyTopology& topo, Bytes bias_bytes,
+                                 double nonminimal_penalty)
+    : table_(topo), bias_bytes_(bias_bytes), nonminimal_penalty_(nonminimal_penalty) {}
+
+double AdaptiveRouting::score(const Route& route, const CongestionView& congestion,
+                              bool minimal) const {
+  const Hop& first = route.first();
+  const Bytes queued = congestion.queued_bytes(first.router, first.port);
+  const double base = static_cast<double>(queued + bias_bytes_) * route.routers_traversed();
+  return minimal ? base : base * nonminimal_penalty_;
+}
+
+Route AdaptiveRouting::compute(NodeId src, NodeId dst, const CongestionView& congestion,
+                               Rng& rng) const {
+  const Coordinates& c = table_.topology().coords();
+  const RouterId r_src = c.router_of_node(src);
+  const RouterId r_dst = c.router_of_node(dst);
+  if (r_src == r_dst) {
+    Route route;
+    route.push(r_dst, c.slot_of_node(dst));
+    return route;
+  }
+
+  // Two independent minimal instantiations (tie-breaks differ), then two
+  // Valiant detours through random intermediate routers.
+  Route best;
+  double best_score = 0;
+  bool best_is_minimal = false;
+  auto consider = [&](Route candidate, bool is_minimal) {
+    const double s = score(candidate, congestion, is_minimal);
+    const bool better =
+        best.empty() || s < best_score || (s == best_score && is_minimal && !best_is_minimal);
+    if (better) {
+      best = candidate;
+      best_score = s;
+      best_is_minimal = is_minimal;
+    }
+  };
+
+  for (int i = 0; i < 2; ++i) {
+    Route route;
+    table_.append_minimal(route, r_src, r_dst, rng);
+    route.push(r_dst, c.slot_of_node(dst));
+    consider(route, true);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const RouterId via = pick_valiant_intermediate(table_.topology(), r_src, r_dst, rng);
+    consider(valiant_route(table_, src, dst, via, rng), false);
+  }
+  return best;
+}
+
+const char* to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::Minimal: return "min";
+    case RoutingKind::Adaptive: return "adp";
+    case RoutingKind::Valiant: return "val";
+    case RoutingKind::AdaptiveGlobal: return "adpg";
+  }
+  return "?";
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(RoutingKind kind, const DragonflyTopology& topo) {
+  switch (kind) {
+    case RoutingKind::Minimal: return std::make_unique<MinimalRouting>(topo);
+    case RoutingKind::Adaptive: return std::make_unique<AdaptiveRouting>(topo);
+    case RoutingKind::Valiant: return std::make_unique<ValiantRouting>(topo);
+    case RoutingKind::AdaptiveGlobal: return std::make_unique<AdaptiveGlobalRouting>(topo);
+  }
+  return nullptr;
+}
+
+}  // namespace dfly

@@ -1,0 +1,48 @@
+// Routing algorithm interface.
+//
+// Routes are computed per packet chunk at injection time (source routing).
+// Adaptive routing consults a CongestionView exposing the source router's
+// output queue depths — the information a UGAL-L implementation has locally.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/route.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dfly {
+
+class DragonflyTopology;
+
+/// Read-only view of router output-channel occupancy, provided by the
+/// network; queued_bytes includes chunks waiting for the channel but not the
+/// chunk currently on the wire.
+class CongestionView {
+ public:
+  virtual ~CongestionView() = default;
+  virtual Bytes queued_bytes(RouterId router, int port) const = 0;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  /// Computes a complete route for one chunk from node `src` to node `dst`
+  /// (src != dst), including the final ejection hop.
+  virtual Route compute(NodeId src, NodeId dst, const CongestionView& congestion,
+                        Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class RoutingKind { Minimal, Adaptive, Valiant, AdaptiveGlobal };
+
+const char* to_string(RoutingKind kind);
+
+/// Factory. The returned algorithm keeps a reference to `topo`, which must
+/// outlive it.
+std::unique_ptr<RoutingAlgorithm> make_routing(RoutingKind kind, const DragonflyTopology& topo);
+
+}  // namespace dfly

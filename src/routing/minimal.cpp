@@ -1,0 +1,20 @@
+#include "routing/minimal.hpp"
+
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+MinimalRouting::MinimalRouting(const DragonflyTopology& topo) : table_(topo) {}
+
+Route MinimalRouting::compute(NodeId src, NodeId dst, const CongestionView& /*congestion*/,
+                              Rng& rng) const {
+  const Coordinates& c = table_.topology().coords();
+  Route route;
+  const RouterId r_src = c.router_of_node(src);
+  const RouterId r_dst = c.router_of_node(dst);
+  table_.append_minimal(route, r_src, r_dst, rng);
+  route.push(r_dst, c.slot_of_node(dst));  // ejection via the terminal port
+  return route;
+}
+
+}  // namespace dfly

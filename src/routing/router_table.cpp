@@ -1,0 +1,137 @@
+#include "routing/router_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfly {
+
+MinimalPathTable::MinimalPathTable(const DragonflyTopology& topo) : topo_(topo) {
+  const TopoParams& p = topo_.params();
+  const Coordinates& c = topo_.coords();
+  table_.resize(static_cast<std::size_t>(p.total_routers()) * p.groups);
+  for (RouterId r = 0; r < p.total_routers(); ++r) {
+    const GroupId g = c.group_of_router(r);
+    for (GroupId peer = 0; peer < p.groups; ++peer) {
+      if (peer == g) continue;
+      Candidates& cand = table_[static_cast<std::size_t>(r) * p.groups + peer];
+      std::vector<GlobalLink> bucket0;
+      std::vector<GlobalLink> bucket1;
+      for (const GlobalLink& link : topo_.global_links(g, peer)) {
+        const int lh = local_hops(r, link.src_router);
+        if (lh == 0) bucket0.push_back(link);
+        else if (lh == 1) bucket1.push_back(link);
+      }
+      cand.near_links = std::move(bucket0);
+      cand.bucket1_begin = static_cast<int>(cand.near_links.size());
+      cand.near_links.insert(cand.near_links.end(), bucket1.begin(), bucket1.end());
+      if (cand.bucket1_begin > 0) cand.best_src_cost = 1;
+      else if (!cand.near_links.empty()) cand.best_src_cost = 2;
+      else cand.best_src_cost = 3;
+    }
+  }
+}
+
+int MinimalPathTable::local_hops(RouterId a, RouterId b) const {
+  if (a == b) return 0;
+  const Coordinates& c = topo_.coords();
+  const RouterCoord ca = c.coord(a);
+  const RouterCoord cb = c.coord(b);
+  assert(ca.group == cb.group);
+  return (ca.row == cb.row || ca.col == cb.col) ? 1 : 2;
+}
+
+const MinimalPathTable::Candidates& MinimalPathTable::candidates(RouterId router,
+                                                                 GroupId peer) const {
+  return table_[static_cast<std::size_t>(router) * topo_.params().groups + peer];
+}
+
+void MinimalPathTable::append_local(Route& route, RouterId from, RouterId to, Rng& rng) const {
+  if (from == to) return;
+  const int direct = topo_.local_port_to(from, to);
+  if (direct >= 0) {
+    route.push(from, direct);
+    return;
+  }
+  // Two intersection candidates: (from.row, to.col) and (to.row, from.col).
+  const Coordinates& c = topo_.coords();
+  const RouterCoord a = c.coord(from);
+  const RouterCoord b = c.coord(to);
+  const RouterId via_row = c.router_at(a.group, a.row, b.col);
+  const RouterId via_col = c.router_at(a.group, b.row, a.col);
+  const RouterId mid = rng.bernoulli(0.5) ? via_row : via_col;
+  route.push(from, topo_.local_port_to(from, mid));
+  route.push(mid, topo_.local_port_to(mid, to));
+}
+
+void MinimalPathTable::append_minimal(Route& route, RouterId from, RouterId to, Rng& rng) const {
+  if (from == to) return;
+  const Coordinates& c = topo_.coords();
+  const GroupId gf = c.group_of_router(from);
+  const GroupId gt = c.group_of_router(to);
+  if (gf == gt) {
+    append_local(route, from, to, rng);
+    return;
+  }
+
+  // Pick a global link minimizing src_hops + 1 + dst_hops; ties broken
+  // uniformly by reservoir sampling over the candidate stream.
+  const Candidates& cand = candidates(from, gt);
+  int best_cost = 100;
+  GlobalLink best{};
+  std::uint64_t ties = 0;
+  auto consider = [&](const GlobalLink& link, int src_hops) {
+    const int cost = src_hops + 1 + local_hops(link.dst_router, to);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = link;
+      ties = 1;
+    } else if (cost == best_cost) {
+      ++ties;
+      if (rng.uniform(ties) == 0) best = link;
+    }
+  };
+
+  for (int i = 0; i < cand.bucket1_begin; ++i) consider(cand.near_links[i], 0);
+  // Bucket 1 can only help if the current best has dst-side hops >= 1.
+  if (best_cost > 2) {
+    for (std::size_t i = cand.bucket1_begin; i < cand.near_links.size(); ++i)
+      consider(cand.near_links[i], 1);
+  }
+  // Bucket 2 (2 src-side hops) can only help if best > 3.
+  if (best_cost > 3) {
+    for (const GlobalLink& link : topo_.global_links(gf, gt)) {
+      if (local_hops(from, link.src_router) == 2) consider(link, 2);
+    }
+  }
+  assert(best_cost < 100);
+
+  append_local(route, from, best.src_router, rng);
+  route.push(best.src_router, best.src_port);
+  append_local(route, best.dst_router, to, rng);
+}
+
+int MinimalPathTable::min_hops(RouterId from, RouterId to) const {
+  if (from == to) return 0;
+  const Coordinates& c = topo_.coords();
+  const GroupId gf = c.group_of_router(from);
+  const GroupId gt = c.group_of_router(to);
+  if (gf == gt) return local_hops(from, to);
+  const Candidates& cand = candidates(from, gt);
+  int best = 100;
+  for (int i = 0; i < cand.bucket1_begin && best > 1; ++i)
+    best = std::min(best, 1 + local_hops(cand.near_links[i].dst_router, to));
+  if (best > 2) {
+    for (std::size_t i = cand.bucket1_begin; i < cand.near_links.size() && best > 2; ++i)
+      best = std::min(best, 2 + local_hops(cand.near_links[i].dst_router, to));
+  }
+  if (best > 3) {
+    for (const GlobalLink& link : topo_.global_links(gf, gt)) {
+      if (local_hops(from, link.src_router) == 2)
+        best = std::min(best, 3 + local_hops(link.dst_router, to));
+      if (best <= 3) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace dfly

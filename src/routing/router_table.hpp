@@ -1,0 +1,55 @@
+// Precomputed minimal-path helper for the Cascade dragonfly.
+//
+// Intra-group minimal paths are pure coordinate arithmetic (direct, or via
+// one of the two row/column intersection routers). Inter-group paths must
+// pick one of the many global links between the two groups; to keep per-chunk
+// routing O(few) we precompute, for every (router, peer group), the links
+// bucketed by source-side local hop count (0: on this router, 1: in its row
+// or column). Links needing two source-side hops are resolved by scanning the
+// full pair list, which only happens when buckets 0 and 1 are both worse.
+#pragma once
+
+#include <vector>
+
+#include "routing/route.hpp"
+#include "topo/dragonfly.hpp"
+#include "util/rng.hpp"
+
+namespace dfly {
+
+class MinimalPathTable {
+ public:
+  explicit MinimalPathTable(const DragonflyTopology& topo);
+
+  /// Appends the router-level minimal path from `from` to `to` (inclusive of
+  /// departure hops, exclusive of the ejection hop). Ties are broken uniformly
+  /// at random. No-op when from == to.
+  void append_minimal(Route& route, RouterId from, RouterId to, Rng& rng) const;
+
+  /// Router-router hop count of a minimal path (0 when from == to).
+  int min_hops(RouterId from, RouterId to) const;
+
+  const DragonflyTopology& topology() const { return topo_; }
+
+ private:
+  struct Candidates {
+    /// Links from this router's group toward the peer group whose source
+    /// router is `router` itself (bucket 0) or shares its row/column
+    /// (bucket 1), concatenated; bucket 0 is [0, bucket1_begin).
+    std::vector<GlobalLink> near_links;
+    int bucket1_begin = 0;
+    /// Minimum achievable total hops from this router into the peer group's
+    /// landing router (source-side hops + 1 global hop), i.e. before counting
+    /// destination-side hops.
+    int best_src_cost = 3;
+  };
+
+  const Candidates& candidates(RouterId router, GroupId peer) const;
+  void append_local(Route& route, RouterId from, RouterId to, Rng& rng) const;
+  int local_hops(RouterId a, RouterId b) const;
+
+  const DragonflyTopology& topo_;
+  std::vector<Candidates> table_;  ///< indexed router * groups + peer group
+};
+
+}  // namespace dfly

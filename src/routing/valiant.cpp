@@ -1,0 +1,44 @@
+#include "routing/valiant.hpp"
+
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+ValiantRouting::ValiantRouting(const DragonflyTopology& topo) : table_(topo) {}
+
+Route valiant_route(const MinimalPathTable& table, NodeId src, NodeId dst, RouterId via,
+                    Rng& rng) {
+  const Coordinates& c = table.topology().coords();
+  Route route;
+  const RouterId r_src = c.router_of_node(src);
+  const RouterId r_dst = c.router_of_node(dst);
+  table.append_minimal(route, r_src, via, rng);
+  table.append_minimal(route, via, r_dst, rng);
+  route.push(r_dst, c.slot_of_node(dst));
+  return route;
+}
+
+RouterId pick_valiant_intermediate(const DragonflyTopology& topo, RouterId r_src, RouterId r_dst,
+                                   Rng& rng) {
+  const int total = topo.params().total_routers();
+  for (;;) {
+    const auto via = static_cast<RouterId>(rng.uniform(static_cast<std::uint64_t>(total)));
+    if (via != r_src && via != r_dst) return via;
+  }
+}
+
+Route ValiantRouting::compute(NodeId src, NodeId dst, const CongestionView& /*congestion*/,
+                              Rng& rng) const {
+  const Coordinates& c = table_.topology().coords();
+  const RouterId r_src = c.router_of_node(src);
+  const RouterId r_dst = c.router_of_node(dst);
+  if (r_src == r_dst) {
+    Route route;
+    route.push(r_dst, c.slot_of_node(dst));
+    return route;
+  }
+  const RouterId via = pick_valiant_intermediate(table_.topology(), r_src, r_dst, rng);
+  return valiant_route(table_, src, dst, via, rng);
+}
+
+}  // namespace dfly

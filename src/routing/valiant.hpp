@@ -1,0 +1,35 @@
+// Valiant (fully nonminimal) routing: every chunk detours through a uniformly
+// random intermediate router, then proceeds minimally. Included both as the
+// nonminimal half of adaptive routing and as a standalone baseline for the
+// ablation benches.
+#pragma once
+
+#include "routing/algorithm.hpp"
+#include "routing/router_table.hpp"
+
+namespace dfly {
+
+class ValiantRouting : public RoutingAlgorithm {
+ public:
+  explicit ValiantRouting(const DragonflyTopology& topo);
+
+  Route compute(NodeId src, NodeId dst, const CongestionView& congestion,
+                Rng& rng) const override;
+  std::string name() const override { return "valiant"; }
+
+ private:
+  MinimalPathTable table_;
+};
+
+/// Shared helper: appends minimal(src -> via) + minimal(via -> dst) followed
+/// by the ejection hop. `via` must differ from both routers or equal one of
+/// them (then it degenerates to the minimal path).
+Route valiant_route(const MinimalPathTable& table, NodeId src, NodeId dst, RouterId via, Rng& rng);
+
+/// Picks a Valiant intermediate router: uniform over routers outside the
+/// source and destination routers (matching "randomly selecting an
+/// intermediate router from the network", paper §III-C).
+RouterId pick_valiant_intermediate(const DragonflyTopology& topo, RouterId r_src, RouterId r_dst,
+                                   Rng& rng);
+
+}  // namespace dfly

@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace dfly {
+
+void Engine::schedule(SimTime when, EventHandler* handler, EventPayload payload) {
+  assert(handler != nullptr);
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(QueuedEvent{when, seq_++, handler, payload});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  if (event_limit_ != 0 && processed_ >= event_limit_) {
+    hit_limit_ = true;
+    return false;
+  }
+  const QueuedEvent ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.handler->handle_event(now_, ev.payload);
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    if (!step()) break;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return now_;
+}
+
+}  // namespace dfly

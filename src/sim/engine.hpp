@@ -1,0 +1,92 @@
+// Sequential discrete-event simulation engine.
+//
+// Design notes:
+//  * Events carry a small POD payload and a handler pointer; dispatch is one
+//    virtual call into the owning subsystem, which switches on `kind`. This
+//    avoids a std::function allocation per event — the simulator schedules
+//    tens of millions of events per experiment.
+//  * Ties in time are broken by a monotonically increasing sequence number so
+//    execution order (and therefore every simulation result) is fully
+//    deterministic for a given seed.
+//  * The engine is single-threaded; the study parallelises at the level of
+//    independent experiment configurations (see core/run_matrix.hpp), which is
+//    exactly how the paper's configuration sweeps decompose.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dfly {
+
+/// Small fixed-size event payload interpreted by the receiving handler.
+struct EventPayload {
+  std::int32_t kind = 0;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Implemented by any subsystem that receives events (network, replay, ...).
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void handle_event(SimTime now, const EventPayload& payload) = 0;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Schedules `payload` for delivery to `handler` at absolute time `when`.
+  /// `when` must not precede the current time.
+  void schedule(SimTime when, EventHandler* handler, EventPayload payload);
+
+  /// Convenience: schedule relative to now().
+  void schedule_after(SimTime delay, EventHandler* handler, EventPayload payload) {
+    schedule(now_ + delay, handler, payload);
+  }
+
+  /// Runs until no events remain. Returns the final simulation time.
+  SimTime run();
+
+  /// Runs until the queue drains or time would exceed `deadline`; events at
+  /// t > deadline stay queued. Returns current time.
+  SimTime run_until(SimTime deadline);
+
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Aborts run() after this many further events (0 = unlimited); used by
+  /// tests as a deadlock/livelock watchdog.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+  bool hit_event_limit() const { return hit_limit_; }
+
+ private:
+  struct QueuedEvent {
+    SimTime time;
+    std::uint64_t seq;
+    EventHandler* handler;
+    EventPayload payload;
+    bool operator>(const QueuedEvent& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool step();
+
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool hit_limit_ = false;
+};
+
+}  // namespace dfly

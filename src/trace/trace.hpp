@@ -1,0 +1,84 @@
+// Application communication traces.
+//
+// A trace is, per MPI rank, the ordered list of communication operations the
+// replay engine executes. This is our stand-in for the paper's DUMPI traces:
+// the workload generators emit traces with the same structure the paper
+// documents for each miniapp, and trace_io.hpp persists them.
+//
+// Semantics (implemented by replay/replay.hpp):
+//   Send   — blocking: completes when the message has fully left the NIC
+//            (eager protocol, matching the simulator's no-rendezvous model).
+//   Isend  — nonblocking send; completion is observed by the next WaitAll.
+//   Recv   — blocking: completes when the matching message fully arrives.
+//   Irecv  — nonblocking receive; completion observed by the next WaitAll.
+//   WaitAll— blocks until every outstanding Isend/Irecv of this rank is done.
+//   Barrier— global synchronization across all ranks of the job (zero cost
+//            once every rank arrives; the paper strips compute time, so
+//            barriers model pure ordering).
+//   Delay  — advances this rank's local time (used by synthetic drivers; the
+//            miniapp generators emit none because the paper ignores compute).
+// Matching: (source rank, tag), FIFO per pair — generators use per-pair
+// monotonic tags, so matching is unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dfly {
+
+enum class OpKind : std::uint8_t { Send, Isend, Recv, Irecv, WaitAll, Barrier, Delay };
+
+const char* to_string(OpKind kind);
+
+struct TraceOp {
+  OpKind kind;
+  std::int32_t peer = -1;  ///< peer rank for sends/recvs
+  std::int32_t tag = 0;
+  Bytes bytes = 0;
+  SimTime delay = 0;  ///< Delay only
+
+  static TraceOp send(int peer, Bytes bytes, int tag) {
+    return {OpKind::Send, peer, tag, bytes, 0};
+  }
+  static TraceOp isend(int peer, Bytes bytes, int tag) {
+    return {OpKind::Isend, peer, tag, bytes, 0};
+  }
+  static TraceOp recv(int peer, Bytes bytes, int tag) {
+    return {OpKind::Recv, peer, tag, bytes, 0};
+  }
+  static TraceOp irecv(int peer, Bytes bytes, int tag) {
+    return {OpKind::Irecv, peer, tag, bytes, 0};
+  }
+  static TraceOp waitall() { return {OpKind::WaitAll, -1, 0, 0, 0}; }
+  static TraceOp barrier() { return {OpKind::Barrier, -1, 0, 0, 0}; }
+  static TraceOp pause(SimTime d) { return {OpKind::Delay, -1, 0, 0, d}; }
+};
+
+class Trace {
+ public:
+  explicit Trace(int ranks) : ops_(ranks) {}
+
+  int ranks() const { return static_cast<int>(ops_.size()); }
+  std::vector<TraceOp>& rank(int r) { return ops_[r]; }
+  const std::vector<TraceOp>& rank(int r) const { return ops_[r]; }
+
+  /// Sum of bytes over all send-type operations.
+  Bytes total_send_bytes() const;
+  std::size_t total_ops() const;
+
+  /// Scales every message size by `factor`, clamping to at least 1 byte —
+  /// the knob of the paper's sensitivity study (§IV-B).
+  void scale_message_sizes(double factor);
+
+  /// Structural validation: peers in range, no self-messages, and every
+  /// send op has a matching recv op on the peer (by pair+tag multiset).
+  /// Throws std::runtime_error on violation. Intended for tests/generators.
+  void validate() const;
+
+ private:
+  std::vector<std::vector<TraceOp>> ops_;
+};
+
+}  // namespace dfly

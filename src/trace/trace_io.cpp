@@ -1,0 +1,113 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfly {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'F', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  // The format is little-endian; all supported platforms here are LE, which
+  // the build asserts via the byte-order check in read.
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!is) throw std::runtime_error("trace: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  put<std::uint32_t>(os, kVersion);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(trace.ranks()));
+  for (int r = 0; r < trace.ranks(); ++r) {
+    const auto& ops = trace.rank(r);
+    put<std::uint64_t>(os, ops.size());
+    for (const TraceOp& op : ops) {
+      put<std::uint8_t>(os, static_cast<std::uint8_t>(op.kind));
+      put<std::int32_t>(os, op.peer);
+      put<std::int32_t>(os, op.tag);
+      put<std::int64_t>(os, op.bytes);
+      put<std::int64_t>(os, op.delay);
+    }
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("trace: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion) throw std::runtime_error("trace: unsupported version");
+  const auto ranks = get<std::uint32_t>(is);
+  if (ranks == 0 || ranks > 10'000'000) throw std::runtime_error("trace: implausible rank count");
+  Trace trace(static_cast<int>(ranks));
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const auto count = get<std::uint64_t>(is);
+    auto& ops = trace.rank(static_cast<int>(r));
+    ops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TraceOp op;
+      const auto kind = get<std::uint8_t>(is);
+      if (kind > static_cast<std::uint8_t>(OpKind::Delay))
+        throw std::runtime_error("trace: bad op kind");
+      op.kind = static_cast<OpKind>(kind);
+      op.peer = get<std::int32_t>(is);
+      op.tag = get<std::int32_t>(is);
+      op.bytes = get<std::int64_t>(is);
+      op.delay = get<std::int64_t>(is);
+      ops.push_back(op);
+    }
+  }
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace: cannot open for writing: " + path);
+  write_trace(trace, f);
+  if (!f) throw std::runtime_error("trace: write failed: " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace: cannot open: " + path);
+  return read_trace(f);
+}
+
+void dump_trace_text(const Trace& trace, std::ostream& os, std::size_t max_ops_per_rank) {
+  os << "trace: " << trace.ranks() << " ranks, " << trace.total_ops() << " ops, "
+     << trace.total_send_bytes() << " send bytes\n";
+  for (int r = 0; r < trace.ranks(); ++r) {
+    const auto& ops = trace.rank(r);
+    os << "rank " << r << " (" << ops.size() << " ops):\n";
+    std::size_t shown = 0;
+    for (const TraceOp& op : ops) {
+      if (max_ops_per_rank && shown++ >= max_ops_per_rank) {
+        os << "  ...\n";
+        break;
+      }
+      os << "  " << to_string(op.kind);
+      if (op.peer >= 0) os << " peer=" << op.peer;
+      if (op.bytes > 0) os << " bytes=" << op.bytes;
+      if (op.tag != 0) os << " tag=" << op.tag;
+      if (op.delay > 0) os << " delay=" << op.delay;
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace dfly

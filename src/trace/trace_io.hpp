@@ -1,0 +1,27 @@
+// Trace persistence: a compact little-endian binary format plus a
+// human-readable text dump.
+//
+// Binary layout:
+//   magic "DFTR" | u32 version | u32 ranks
+//   per rank: u64 op count, then ops packed as
+//     u8 kind | i32 peer | i32 tag | i64 bytes | i64 delay
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dfly {
+
+void write_trace(const Trace& trace, std::ostream& os);
+Trace read_trace(std::istream& is);  ///< throws std::runtime_error on malformed input
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+/// Human-readable dump ("rank 3: isend peer=7 bytes=190000 tag=2 ...").
+void dump_trace_text(const Trace& trace, std::ostream& os, std::size_t max_ops_per_rank = 0);
+
+}  // namespace dfly

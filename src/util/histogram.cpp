@@ -1,0 +1,41 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfly {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+TimeProfile::TimeProfile(SimTime bucket_width) : width_(bucket_width) {
+  assert(bucket_width > 0);
+}
+
+void TimeProfile::add(SimTime t, Bytes bytes) {
+  if (t < 0) t = 0;
+  const auto bucket = static_cast<std::size_t>(t / width_);
+  if (bucket >= bytes_.size()) bytes_.resize(bucket + 1, 0);
+  bytes_[bucket] += bytes;
+  total_ += bytes;
+}
+
+Bytes TimeProfile::peak() const {
+  Bytes p = 0;
+  for (const Bytes b : bytes_) p = std::max(p, b);
+  return p;
+}
+
+}  // namespace dfly

@@ -1,0 +1,54 @@
+// Fixed-bin histogram and time-bucketed load profiles.
+//
+// TimeProfile backs the Fig. 2 "message load per rank over time" plots: each
+// injected message adds its bytes to the bucket of its injection time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dfly {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0;
+};
+
+/// Accumulates bytes into fixed-duration time buckets.
+class TimeProfile {
+ public:
+  explicit TimeProfile(SimTime bucket_width);
+
+  void add(SimTime t, Bytes bytes);
+
+  SimTime bucket_width() const { return width_; }
+  std::size_t buckets() const { return bytes_.size(); }
+  Bytes bytes_in(std::size_t bucket) const { return bytes_[bucket]; }
+  /// Largest per-bucket total; the paper's "peak load" (Table II).
+  Bytes peak() const;
+  Bytes total() const { return total_; }
+
+ private:
+  SimTime width_;
+  std::vector<Bytes> bytes_;
+  Bytes total_ = 0;
+};
+
+}  // namespace dfly

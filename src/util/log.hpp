@@ -1,0 +1,24 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is a library; logging defaults to Warn so that tests and
+// benches stay quiet unless something is off. Benches raise it to Info for
+// progress lines on long runs.
+#pragma once
+
+#include <string>
+
+namespace dfly {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log_message(LogLevel::Debug, msg); }
+inline void log_info(const std::string& msg) { log_message(LogLevel::Info, msg); }
+inline void log_warn(const std::string& msg) { log_message(LogLevel::Warn, msg); }
+inline void log_error(const std::string& msg) { log_message(LogLevel::Error, msg); }
+
+}  // namespace dfly

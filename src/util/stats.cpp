@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dfly {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double StreamingStats::min() const { return count_ ? min_ : 0.0; }
+double StreamingStats::max() const { return count_ ? max_ : 0.0; }
+double StreamingStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& s, double p) {
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> samples, double p) {
+  std::vector<double> s(samples.begin(), samples.end());
+  std::sort(s.begin(), s.end());
+  return sorted_percentile(s, p);
+}
+
+BoxStats box_stats(std::span<const double> samples) {
+  BoxStats b;
+  b.count = samples.size();
+  if (samples.empty()) return b;
+  std::vector<double> s(samples.begin(), samples.end());
+  std::sort(s.begin(), s.end());
+  b.min = s.front();
+  b.max = s.back();
+  b.q1 = sorted_percentile(s, 25);
+  b.median = sorted_percentile(s, 50);
+  b.q3 = sorted_percentile(s, 75);
+  return b;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::quantile(double f) const {
+  return sorted_percentile(sorted_, std::clamp(f, 0.0, 1.0) * 100.0);
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::string format_box(const BoxStats& b, int precision) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.*f / %.*f / %.*f / %.*f / %.*f", precision, b.min,
+                precision, b.q1, precision, b.median, precision, b.q3, precision, b.max);
+  return buf;
+}
+
+}  // namespace dfly

@@ -1,0 +1,69 @@
+// Descriptive statistics used by the report layer.
+//
+// The paper reports (a) five-number box plots of per-rank communication time
+// (Fig. 3) and (b) CDFs over channels/links of traffic and saturation time
+// (Figs. 4-6, 8-10). BoxStats and Cdf mirror those two presentation forms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfly {
+
+/// Welford-style streaming accumulator: count/min/max/mean/variance without
+/// retaining samples.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Five-number summary matching the paper's box plots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample set, p in [0,100].
+double percentile(std::span<const double> samples, double p);
+
+/// Computes the five-number summary of `samples` (copied and sorted).
+BoxStats box_stats(std::span<const double> samples);
+
+/// Empirical CDF over a sample set. Mirrors the paper's "percentage of
+/// channels vs quantity" plots: quantile(f) answers "the value below which a
+/// fraction f of samples fall".
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t count() const { return sorted_.size(); }
+  /// Value at cumulative fraction f in [0,1] (linear interpolation).
+  double quantile(double f) const;
+  /// Fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Formats a BoxStats row for tables: "min/q1/med/q3/max".
+std::string format_box(const BoxStats& b, int precision = 2);
+
+}  // namespace dfly

@@ -1,0 +1,43 @@
+// ASCII/Markdown table rendering and CSV export for benchmark output.
+//
+// Every figure/table reproduction prints through this so all benches share one
+// visual format and can additionally dump CSV for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dfly {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& set_columns(std::vector<std::string> headers);
+  Table& add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// GitHub-flavoured Markdown table.
+  void print_markdown(std::ostream& os) const;
+  /// Comma-separated values, header row first. Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+  static std::string pct(double v, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfly

@@ -1,0 +1,52 @@
+// Units and fixed-point time for the simulator.
+//
+// All simulation time is kept in integer nanoseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible across platforms; floating
+// point appears only at the reporting boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace dfly {
+
+/// Simulation time in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+namespace units {
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+
+/// Converts a bandwidth in GiB/s to bytes per nanosecond.
+constexpr double gib_per_s(double gib) { return gib * static_cast<double>(kGiB) / static_cast<double>(kSecond); }
+
+/// Time to serialize `bytes` at `bytes_per_ns`, rounded up to at least 1 ns
+/// for any positive payload so that zero-duration transfers cannot occur.
+constexpr SimTime transfer_time(Bytes bytes, double bytes_per_ns) {
+  if (bytes <= 0) return 0;
+  const double t = static_cast<double>(bytes) / bytes_per_ns;
+  const auto ticks = static_cast<SimTime>(t);
+  return ticks < 1 ? 1 : (static_cast<double>(ticks) < t ? ticks + 1 : ticks);
+}
+
+/// SimTime -> milliseconds as double (reporting only).
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / static_cast<double>(kMillisecond); }
+
+/// Bytes -> decimal megabytes as double (reporting only; the paper's traffic
+/// axes are in MB).
+constexpr double to_mb(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMB); }
+
+}  // namespace units
+}  // namespace dfly

@@ -1,0 +1,101 @@
+#include "workload/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfly {
+namespace {
+
+bool is_send(OpKind k) { return k == OpKind::Send || k == OpKind::Isend; }
+bool is_phase_end(OpKind k) { return k == OpKind::WaitAll || k == OpKind::Barrier; }
+
+}  // namespace
+
+CommMatrix::CommMatrix(const Trace& trace) : rows_(trace.ranks()) {
+  for (int r = 0; r < trace.ranks(); ++r) {
+    for (const TraceOp& op : trace.rank(r)) {
+      if (!is_send(op.kind)) continue;
+      rows_[r][op.peer] += op.bytes;
+      total_ += op.bytes;
+      ++messages_;
+    }
+  }
+}
+
+Bytes CommMatrix::bytes(int src, int dst) const {
+  const auto it = rows_[src].find(dst);
+  return it == rows_[src].end() ? 0 : it->second;
+}
+
+double CommMatrix::average_message_bytes() const {
+  return messages_ ? static_cast<double>(total_) / static_cast<double>(messages_) : 0.0;
+}
+
+std::size_t CommMatrix::pairs_used() const {
+  std::size_t pairs = 0;
+  for (const auto& row : rows_) pairs += row.size();
+  return pairs;
+}
+
+double CommMatrix::locality_fraction(int window) const {
+  if (total_ == 0) return 0.0;
+  Bytes local = 0;
+  for (int src = 0; src < ranks(); ++src) {
+    for (const auto& [dst, bytes] : rows_[src]) {
+      if (std::abs(src - dst) <= window) local += bytes;
+    }
+  }
+  return static_cast<double>(local) / static_cast<double>(total_);
+}
+
+std::vector<std::vector<Bytes>> CommMatrix::block_aggregate(int blocks) const {
+  std::vector<std::vector<Bytes>> grid(blocks, std::vector<Bytes>(blocks, 0));
+  const double scale = static_cast<double>(blocks) / ranks();
+  for (int src = 0; src < ranks(); ++src) {
+    const int bi = std::min(blocks - 1, static_cast<int>(src * scale));
+    for (const auto& [dst, bytes] : rows_[src]) {
+      const int bj = std::min(blocks - 1, static_cast<int>(dst * scale));
+      grid[bi][bj] += bytes;
+    }
+  }
+  return grid;
+}
+
+double PhaseLoad::peak() const {
+  double p = 0;
+  for (const double v : avg_bytes_per_rank) p = std::max(p, v);
+  return p;
+}
+
+PhaseLoad phase_load(const Trace& trace) {
+  PhaseLoad result;
+  std::vector<std::size_t> cursor(trace.ranks(), 0);
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    Bytes phase_bytes = 0;
+    for (int r = 0; r < trace.ranks(); ++r) {
+      const auto& ops = trace.rank(r);
+      std::size_t& c = cursor[r];
+      while (c < ops.size()) {
+        const TraceOp& op = ops[c++];
+        if (is_send(op.kind)) phase_bytes += op.bytes;
+        if (is_phase_end(op.kind)) break;
+      }
+      if (c < ops.size()) any_left = true;
+    }
+    result.avg_bytes_per_rank.push_back(static_cast<double>(phase_bytes) / trace.ranks());
+    if (!any_left) break;
+  }
+  return result;
+}
+
+std::vector<Bytes> per_rank_send_bytes(const Trace& trace) {
+  std::vector<Bytes> totals(trace.ranks(), 0);
+  for (int r = 0; r < trace.ranks(); ++r)
+    for (const TraceOp& op : trace.rank(r))
+      if (is_send(op.kind)) totals[r] += op.bytes;
+  return totals;
+}
+
+}  // namespace dfly

@@ -1,0 +1,52 @@
+// Workload characterization (Fig. 2 of the paper): communication matrix and
+// per-phase message load derived from a trace.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dfly {
+
+/// Sparse communication matrix: bytes sent from each rank to each peer.
+class CommMatrix {
+ public:
+  explicit CommMatrix(const Trace& trace);
+
+  int ranks() const { return static_cast<int>(rows_.size()); }
+  Bytes bytes(int src, int dst) const;
+  Bytes total_bytes() const { return total_; }
+  std::uint64_t message_count() const { return messages_; }
+  double average_message_bytes() const;
+  /// Number of ordered (src,dst) pairs with nonzero traffic.
+  std::size_t pairs_used() const;
+  /// Fraction of total bytes exchanged between ranks with |src-dst| <= window
+  /// — the "small neighborhoods" concentration visible in Fig. 2(a)-(c).
+  double locality_fraction(int window) const;
+  /// Aggregates the matrix into a blocks x blocks grid of byte totals, for
+  /// coarse textual rendering of the Fig. 2 heat maps.
+  std::vector<std::vector<Bytes>> block_aggregate(int blocks) const;
+
+  const std::unordered_map<int, Bytes>& row(int src) const { return rows_[src]; }
+
+ private:
+  std::vector<std::unordered_map<int, Bytes>> rows_;
+  Bytes total_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+/// Per-phase load: the trace's ops are partitioned at WaitAll/Barrier
+/// boundaries; entry [p] is the average bytes a rank sends in phase p (the
+/// Fig. 2(d)-(f) "message load per rank over time" analogue, with phases as
+/// the logical time axis — the paper strips wall-clock compute time too).
+struct PhaseLoad {
+  std::vector<double> avg_bytes_per_rank;
+  double peak() const;
+};
+PhaseLoad phase_load(const Trace& trace);
+
+/// Per-rank totals: bytes each rank sends over the whole trace.
+std::vector<Bytes> per_rank_send_bytes(const Trace& trace);
+
+}  // namespace dfly

@@ -1,0 +1,134 @@
+#include "workload/collectives.hpp"
+
+#include <stdexcept>
+
+namespace dfly {
+namespace {
+
+int largest_pow2_at_most(int n) {
+  int p = 1;
+  while (2 * p <= n) p *= 2;
+  return p;
+}
+
+void require_ranks(const Trace& trace, const char* what) {
+  if (trace.ranks() < 2) throw std::invalid_argument(std::string(what) + ": need >= 2 ranks");
+}
+
+/// One-directional transfer a -> b (blocking on the receive side so later ops
+/// of b order after the arrival).
+void emit_transfer(Trace& trace, TagAllocator& tags, int from, int to, Bytes bytes) {
+  const std::int32_t tag = tags.next(from, to);
+  trace.rank(from).push_back(TraceOp::isend(to, bytes, tag));
+  trace.rank(to).push_back(TraceOp::recv(from, bytes, tag));
+}
+
+}  // namespace
+
+void append_allreduce(Trace& trace, TagAllocator& tags, Bytes bytes) {
+  require_ranks(trace, "allreduce");
+  const int n = trace.ranks();
+  const int p = largest_pow2_at_most(n);
+
+  // Fold-in: the n-p extra ranks contribute their data to ranks 0..n-p-1.
+  for (int extra = p; extra < n; ++extra) emit_transfer(trace, tags, extra, extra - p, bytes);
+  emit_phase_end(trace);
+
+  // Recursive doubling over the power-of-two core.
+  for (int mask = 1; mask < p; mask *= 2) {
+    for (int r = 0; r < p; ++r) {
+      const int partner = r ^ mask;
+      if (partner < r) continue;
+      emit_exchange(trace, tags, r, partner, bytes);
+    }
+    emit_phase_end(trace);
+  }
+
+  // Fold-out: send the result back to the extra ranks.
+  for (int extra = p; extra < n; ++extra) emit_transfer(trace, tags, extra - p, extra, bytes);
+  emit_phase_end(trace);
+}
+
+void append_broadcast(Trace& trace, TagAllocator& tags, int root, Bytes bytes) {
+  require_ranks(trace, "broadcast");
+  const int n = trace.ranks();
+  if (root < 0 || root >= n) throw std::invalid_argument("broadcast: root out of range");
+  auto real = [&](int v) { return (v + root) % n; };
+  // Virtual rank v receives from v - mask (its highest set bit) and then
+  // forwards to v + mask' for growing masks.
+  for (int mask = 1; mask < n; mask *= 2) {
+    for (int v = 0; v < mask && v + mask < n; ++v)
+      emit_transfer(trace, tags, real(v), real(v + mask), bytes);
+  }
+  emit_phase_end(trace);
+}
+
+void append_reduce(Trace& trace, TagAllocator& tags, int root, Bytes bytes) {
+  require_ranks(trace, "reduce");
+  const int n = trace.ranks();
+  if (root < 0 || root >= n) throw std::invalid_argument("reduce: root out of range");
+  auto real = [&](int v) { return (v + root) % n; };
+  // Reverse binomial tree: contributions flow from high virtual ranks down.
+  int top = 1;
+  while (top < n) top *= 2;
+  for (int mask = top / 2; mask >= 1; mask /= 2) {
+    for (int v = 0; v < mask && v + mask < n; ++v)
+      emit_transfer(trace, tags, real(v + mask), real(v), bytes);
+  }
+  emit_phase_end(trace);
+}
+
+void append_allgather_ring(Trace& trace, TagAllocator& tags, Bytes block_bytes) {
+  require_ranks(trace, "allgather");
+  const int n = trace.ranks();
+  for (int step = 0; step < n - 1; ++step) {
+    for (int r = 0; r < n; ++r) {
+      const int to = (r + 1) % n;
+      const std::int32_t tag = tags.next(r, to);
+      trace.rank(r).push_back(TraceOp::isend(to, block_bytes, tag));
+      trace.rank(to).push_back(TraceOp::irecv(r, block_bytes, tag));
+    }
+    emit_phase_end(trace);
+  }
+}
+
+void append_alltoall(Trace& trace, TagAllocator& tags, Bytes block_bytes) {
+  require_ranks(trace, "alltoall");
+  const int n = trace.ranks();
+  const bool pow2 = (n & (n - 1)) == 0;
+  for (int step = 1; step < n; ++step) {
+    for (int r = 0; r < n; ++r) {
+      if (pow2) {
+        const int partner = r ^ step;
+        if (partner < r) continue;
+        emit_exchange(trace, tags, r, partner, block_bytes);
+      } else {
+        const int to = (r + step) % n;
+        const int from = (r - step + n) % n;
+        const std::int32_t tag = tags.next(r, to);
+        trace.rank(r).push_back(TraceOp::isend(to, block_bytes, tag));
+        // The matching irecv is registered on `to` when its own loop
+        // iteration runs; register r's receive from `from` symmetrically.
+        trace.rank(to).push_back(TraceOp::irecv(r, block_bytes, tag));
+        (void)from;
+      }
+    }
+    emit_phase_end(trace);
+  }
+}
+
+void append_dissemination_barrier(Trace& trace, TagAllocator& tags) {
+  require_ranks(trace, "barrier");
+  const int n = trace.ranks();
+  for (int mask = 1; mask < n; mask *= 2) {
+    for (int r = 0; r < n; ++r) {
+      const int to = (r + mask) % n;
+      const std::int32_t tag = tags.next(r, to);
+      trace.rank(r).push_back(TraceOp::isend(to, 1, tag));
+      trace.rank(to).push_back(TraceOp::irecv(r, 1, tag));
+    }
+    emit_phase_end(trace);
+  }
+}
+
+}  // namespace dfly

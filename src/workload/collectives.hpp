@@ -1,0 +1,43 @@
+// MPI collective operations lowered to point-to-point trace ops, using the
+// classic algorithms MPI libraries implement. The DOE miniapps the paper
+// replays contain collective phases (the CR multistage exchange *is* a
+// crystal-router alltoallv); these builders let users compose their own
+// workloads at the same level.
+//
+// All builders append to an existing Trace (so collectives can be mixed with
+// custom phases) and end with a WaitAll on every participating rank.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workload/exchange.hpp"
+
+namespace dfly {
+
+/// Recursive-doubling allreduce: ceil(log2 n) pairwise exchange stages of the
+/// full payload. Non-power-of-two rank counts use the standard fold-in /
+/// fold-out fixup.
+void append_allreduce(Trace& trace, TagAllocator& tags, Bytes bytes);
+
+/// Binomial-tree broadcast from `root`: stage k has 2^k senders.
+void append_broadcast(Trace& trace, TagAllocator& tags, int root, Bytes bytes);
+
+/// Binomial-tree reduce to `root` (the broadcast tree, reversed).
+void append_reduce(Trace& trace, TagAllocator& tags, int root, Bytes bytes);
+
+/// Ring allgather: n-1 steps, each rank forwards the block it just received
+/// to its +1 neighbor. `block_bytes` is the per-rank contribution.
+void append_allgather_ring(Trace& trace, TagAllocator& tags, Bytes block_bytes);
+
+/// Pairwise-exchange alltoall: n-1 steps; at step s, rank r exchanges its
+/// block with rank r^s when n is a power of two, (r+s)%n / (r-s+n)%n
+/// otherwise. `block_bytes` is the per-destination block.
+void append_alltoall(Trace& trace, TagAllocator& tags, Bytes block_bytes);
+
+/// Dissemination barrier realized with 1-byte messages (a "real" barrier
+/// rather than the replay engine's zero-cost Barrier op): ceil(log2 n)
+/// rounds, partner = (r + 2^k) mod n.
+void append_dissemination_barrier(Trace& trace, TagAllocator& tags);
+
+}  // namespace dfly

@@ -1,0 +1,76 @@
+#include "workload/synthetic.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "workload/exchange.hpp"
+
+namespace dfly {
+
+Trace make_ring_trace(int ranks, Bytes bytes, int iterations) {
+  if (ranks < 2) throw std::invalid_argument("ring needs >= 2 ranks");
+  Trace trace(ranks);
+  TagAllocator tags;
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (int r = 0; r < ranks; ++r) {
+      const int peer = (r + 1) % ranks;
+      if (peer == r) continue;
+      if (ranks == 2 && r == 1) continue;  // pair already emitted
+      emit_exchange(trace, tags, r, peer, bytes);
+    }
+    emit_phase_end(trace);
+  }
+  return trace;
+}
+
+Trace make_random_pairs_trace(int ranks, int pairs, Bytes bytes, Rng& rng) {
+  if (2 * pairs > ranks) throw std::invalid_argument("not enough ranks for disjoint pairs");
+  Trace trace(ranks);
+  TagAllocator tags;
+  std::vector<int> order(ranks);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (int p = 0; p < pairs; ++p) emit_exchange(trace, tags, order[2 * p], order[2 * p + 1], bytes);
+  emit_phase_end(trace);
+  return trace;
+}
+
+Trace make_permutation_trace(int ranks, Bytes bytes, Rng& rng) {
+  if (ranks < 2) throw std::invalid_argument("permutation needs >= 2 ranks");
+  // Random permutation without fixed points (re-draw until none; cheap for
+  // the sizes used here).
+  std::vector<int> perm(ranks);
+  for (;;) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    bool fixed = false;
+    for (int r = 0; r < ranks; ++r)
+      if (perm[r] == r) {
+        fixed = true;
+        break;
+      }
+    if (!fixed) break;
+  }
+  Trace trace(ranks);
+  TagAllocator tags;
+  for (int r = 0; r < ranks; ++r) {
+    const int dst = perm[r];
+    const std::int32_t tag = tags.next(r, dst);
+    trace.rank(r).push_back(TraceOp::isend(dst, bytes, tag));
+    trace.rank(dst).push_back(TraceOp::irecv(r, bytes, tag));
+  }
+  emit_phase_end(trace);
+  return trace;
+}
+
+Trace make_all_to_all_trace(int ranks, Bytes bytes) {
+  if (ranks < 2) throw std::invalid_argument("all-to-all needs >= 2 ranks");
+  Trace trace(ranks);
+  TagAllocator tags;
+  for (int a = 0; a < ranks; ++a)
+    for (int b = a + 1; b < ranks; ++b) emit_exchange(trace, tags, a, b, bytes);
+  emit_phase_end(trace);
+  return trace;
+}
+
+}  // namespace dfly

@@ -1,0 +1,26 @@
+// Synthetic kernels used by tests, examples and the ablation benches:
+// uniform-random pairs, ring, nearest-neighbor stencil, permutation and
+// all-to-all traffic as traces.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dfly {
+
+/// Every rank exchanges `bytes` with its +1 ring neighbor (wrapping),
+/// repeated `iterations` times with a phase barrier between rounds.
+Trace make_ring_trace(int ranks, Bytes bytes, int iterations = 1);
+
+/// `pairs` uniformly random disjoint rank pairs exchange `bytes`.
+Trace make_random_pairs_trace(int ranks, int pairs, Bytes bytes, Rng& rng);
+
+/// Each rank sends `bytes` to a fixed random permutation target and receives
+/// from its inverse source (classic adversarial pattern for minimal routing).
+Trace make_permutation_trace(int ranks, Bytes bytes, Rng& rng);
+
+/// Dense all-to-all: every rank exchanges `bytes` with every other rank.
+/// Quadratic; intended for small rank counts.
+Trace make_all_to_all_trace(int ranks, Bytes bytes);
+
+}  // namespace dfly

@@ -1,0 +1,65 @@
+// Workload generators: synthetic stand-ins for the paper's DUMPI traces.
+//
+// The paper (§III-A, Fig. 2) documents each DOE Design Forward miniapp's
+// communication structure precisely; these generators reproduce that
+// structure. DESIGN.md §1 records the substitution argument.
+//
+//   CR  (crystal router, 1000 ranks): scalable multistage many-to-many
+//       (hypercube-style pairwise stages) plus neighborhood exchanges;
+//       constant ~190 KB messages.
+//   FB  (fill boundary, 1000 ranks): 3-D block domain decomposition with
+//       periodic boundaries; intensive 6-neighbor halo exchange with strongly
+//       fluctuating sizes (aggregate 100 KB - 2560 KB per rank per step) plus
+//       a light many-to-many stage.
+//   AMG (algebraic multigrid, 1728 ranks): regional <=6-neighbor exchange on
+//       a 12^3 grid; V-cycles with message sizes decreasing per level; three
+//       bursts ("surges"), peak 75 KB; low total load.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dfly {
+
+struct Workload {
+  std::string name;
+  Trace trace;
+};
+
+struct CrParams {
+  int ranks = 1000;
+  int iterations = 2;               ///< repetitions of the multistage sweep
+  Bytes message_bytes = 190 * units::kKB;
+  int neighborhood_radius = 2;      ///< also exchange with rank +-1..+-radius
+  double scale = 1.0;               ///< message-size multiplier (sensitivity knob)
+};
+Workload make_crystal_router(const CrParams& params);
+
+struct FbParams {
+  int nx = 10, ny = 10, nz = 10;    ///< rank grid (ranks = nx*ny*nz)
+  int iterations = 2;
+  Bytes min_step_load = 100 * units::kKB;   ///< aggregate halo load per rank, low
+  Bytes max_step_load = 2560 * units::kKB;  ///< ... and high end of the fluctuation
+  int a2a_partners = 4;             ///< many-to-many partners per iteration
+  Bytes a2a_bytes = 64 * units::kKB;
+  std::uint64_t seed = 7;
+  double scale = 1.0;
+
+  int ranks() const { return nx * ny * nz; }
+};
+Workload make_fill_boundary(const FbParams& params);
+
+struct AmgParams {
+  int nx = 12, ny = 12, nz = 12;    ///< rank grid (ranks = nx*ny*nz = 1728)
+  int vcycles = 3;                  ///< the three surges of Fig. 2(f)
+  int levels = 4;                   ///< multigrid levels per V-cycle
+  Bytes peak_message_bytes = 75 * units::kKB / 6;  ///< per-neighbor size at the finest level
+  double scale = 1.0;
+
+  int ranks() const { return nx * ny * nz; }
+};
+Workload make_amg(const AmgParams& params);
+
+}  // namespace dfly

@@ -1,0 +1,124 @@
+// Tests for the background-traffic driver.
+#include "workload/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/adaptive.hpp"
+#include "sim/engine.hpp"
+
+namespace dfly {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : topo(TopoParams::tiny()),
+        routing(topo),
+        network(engine, topo, NetworkParams::theta(), routing, Rng(1)) {}
+
+  std::vector<NodeId> all_nodes() const {
+    std::vector<NodeId> nodes(topo.params().total_nodes());
+    for (NodeId n = 0; n < topo.params().total_nodes(); ++n) nodes[n] = n;
+    return nodes;
+  }
+
+  Engine engine;
+  DragonflyTopology topo;
+  AdaptiveRouting routing;
+  Network network;
+};
+
+TEST(Background, UniformRandomIssuesOneMessagePerNodePerTick) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.pattern = BackgroundSpec::Pattern::UniformRandom;
+  spec.message_bytes = 4096;
+  spec.interval = 10 * units::kMicrosecond;
+  BackgroundDriver driver(f.engine, f.network, f.all_nodes(), spec, Rng(2));
+  driver.start();
+  f.engine.run_until(35 * units::kMicrosecond);  // ticks at 0, 10, 20, 30 us
+  driver.request_stop();
+  f.engine.run();
+  EXPECT_EQ(driver.ticks(), 4u);
+  EXPECT_EQ(driver.messages_issued(), 4u * f.topo.params().total_nodes());
+  EXPECT_EQ(driver.bytes_issued(),
+            static_cast<Bytes>(driver.messages_issued()) * spec.message_bytes);
+  EXPECT_EQ(f.network.bytes_delivered(), driver.bytes_issued());
+}
+
+TEST(Background, BurstyIssuesFanoutMessages) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.pattern = BackgroundSpec::Pattern::Bursty;
+  spec.message_bytes = 2048;
+  spec.burst_fanout = 5;
+  spec.interval = units::kMillisecond;
+  BackgroundDriver driver(f.engine, f.network, f.all_nodes(), spec, Rng(3));
+  driver.start();
+  f.engine.run_until(1);  // first tick only
+  driver.request_stop();
+  f.engine.run();
+  EXPECT_EQ(driver.ticks(), 1u);
+  EXPECT_EQ(driver.messages_issued(), 5u * f.topo.params().total_nodes());
+}
+
+TEST(Background, StopPreventsFurtherTicks) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.interval = 10;
+  spec.message_bytes = 512;
+  BackgroundDriver driver(f.engine, f.network, f.all_nodes(), spec, Rng(4));
+  driver.start();
+  f.engine.run_until(5);
+  driver.request_stop();
+  f.engine.run();  // must terminate despite the periodic schedule
+  EXPECT_EQ(driver.ticks(), 1u);
+}
+
+TEST(Background, DestinationsStayInsideBackgroundJob) {
+  Fixture f;
+  // Background on nodes 10..19 only; the NICs of other nodes must stay idle.
+  std::vector<NodeId> nodes;
+  for (NodeId n = 10; n < 20; ++n) nodes.push_back(n);
+  BackgroundSpec spec;
+  spec.message_bytes = 1024;
+  spec.interval = 100;
+  BackgroundDriver driver(f.engine, f.network, nodes, spec, Rng(5));
+  driver.start();
+  f.engine.run_until(250);
+  driver.request_stop();
+  f.engine.run();
+  for (NodeId n = 0; n < f.topo.params().total_nodes(); ++n) {
+    const bool in_job = n >= 10 && n < 20;
+    if (!in_job) EXPECT_EQ(f.network.nic(n).traffic, 0) << "node " << n;
+  }
+}
+
+TEST(Background, PeakLoadMatchesTableIIFormula) {
+  BackgroundSpec uniform;
+  uniform.pattern = BackgroundSpec::Pattern::UniformRandom;
+  uniform.message_bytes = 16 * units::kKB;
+  EXPECT_EQ(uniform.peak_load(2456), 2456 * 16 * units::kKB);
+
+  BackgroundSpec bursty;
+  bursty.pattern = BackgroundSpec::Pattern::Bursty;
+  bursty.message_bytes = 1 * units::kMB;
+  bursty.burst_fanout = 37;
+  EXPECT_EQ(bursty.peak_load(100), 100ll * 37 * units::kMB);
+}
+
+TEST(Background, RejectsDegenerateSpecs) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.interval = 0;
+  EXPECT_THROW(BackgroundDriver(f.engine, f.network, f.all_nodes(), spec, Rng(6)),
+               std::invalid_argument);
+  spec.interval = 100;
+  spec.message_bytes = 0;
+  EXPECT_THROW(BackgroundDriver(f.engine, f.network, f.all_nodes(), spec, Rng(7)),
+               std::invalid_argument);
+  EXPECT_THROW(BackgroundDriver(f.engine, f.network, {0}, BackgroundSpec{}, Rng(8)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfly

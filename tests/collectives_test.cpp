@@ -1,0 +1,162 @@
+// Tests for the collective-operation trace builders: structural balance,
+// correct volumes, dependency shapes, and end-to-end replay.
+#include "workload/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "place/placement.hpp"
+#include "replay/replay.hpp"
+#include "routing/minimal.hpp"
+#include "sim/engine.hpp"
+#include "workload/characterize.hpp"
+
+namespace dfly {
+namespace {
+
+/// Replays a trace on the tiny topology; fails the test on deadlock.
+SimTime replay_trace(const Trace& trace) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  Rng rng(2);
+  Placement placement = make_placement(PlacementKind::RandomNode, topo.params(),
+                                       trace.ranks(), rng);
+  ReplayEngine replay(engine, network, trace, placement);
+  replay.start();
+  engine.set_event_limit(100'000'000);
+  engine.run();
+  EXPECT_FALSE(engine.hit_event_limit());
+  EXPECT_TRUE(replay.finished());
+  return engine.now();
+}
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, AllreduceBalancesAndReplays) {
+  const int n = GetParam();
+  Trace trace(n);
+  TagAllocator tags;
+  append_allreduce(trace, tags, 10000);
+  EXPECT_NO_THROW(trace.validate());
+  replay_trace(trace);
+}
+
+TEST_P(CollectiveRanks, BroadcastReachesEveryRank) {
+  const int n = GetParam();
+  for (const int root : {0, n / 2, n - 1}) {
+    Trace trace(n);
+    TagAllocator tags;
+    append_broadcast(trace, tags, root, 5000);
+    EXPECT_NO_THROW(trace.validate());
+    // Every rank except the root receives exactly once.
+    for (int r = 0; r < n; ++r) {
+      int recvs = 0;
+      for (const TraceOp& op : trace.rank(r))
+        if (op.kind == OpKind::Recv || op.kind == OpKind::Irecv) ++recvs;
+      EXPECT_EQ(recvs, r == root ? 0 : 1) << "rank " << r << " root " << root;
+    }
+    replay_trace(trace);
+  }
+}
+
+TEST_P(CollectiveRanks, ReduceCollectsEveryContribution) {
+  const int n = GetParam();
+  for (const int root : {0, n - 1}) {
+    Trace trace(n);
+    TagAllocator tags;
+    append_reduce(trace, tags, root, 5000);
+    EXPECT_NO_THROW(trace.validate());
+    // Every rank except the root sends exactly once.
+    for (int r = 0; r < n; ++r) {
+      int sends = 0;
+      for (const TraceOp& op : trace.rank(r))
+        if (op.kind == OpKind::Send || op.kind == OpKind::Isend) ++sends;
+      EXPECT_EQ(sends, r == root ? 0 : 1) << "rank " << r << " root " << root;
+    }
+    replay_trace(trace);
+  }
+}
+
+TEST_P(CollectiveRanks, AllgatherRingMovesNMinus1Blocks) {
+  const int n = GetParam();
+  Trace trace(n);
+  TagAllocator tags;
+  append_allgather_ring(trace, tags, 2000);
+  EXPECT_NO_THROW(trace.validate());
+  const CommMatrix m(trace);
+  // Each rank sends n-1 blocks, all to its ring successor.
+  EXPECT_EQ(m.total_bytes(), static_cast<Bytes>(n) * (n - 1) * 2000);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(m.row(r).size(), 1u);
+    EXPECT_EQ(m.bytes(r, (r + 1) % n), static_cast<Bytes>(n - 1) * 2000);
+  }
+  replay_trace(trace);
+}
+
+TEST_P(CollectiveRanks, AlltoallCoversAllPairs) {
+  const int n = GetParam();
+  Trace trace(n);
+  TagAllocator tags;
+  append_alltoall(trace, tags, 1000);
+  EXPECT_NO_THROW(trace.validate());
+  const CommMatrix m(trace);
+  EXPECT_EQ(m.pairs_used(), static_cast<std::size_t>(n) * (n - 1));
+  for (int r = 0; r < n; ++r)
+    for (int d = 0; d < n; ++d)
+      if (d != r) EXPECT_EQ(m.bytes(r, d), 1000) << r << "->" << d;
+  replay_trace(trace);
+}
+
+TEST_P(CollectiveRanks, DisseminationBarrierReplays) {
+  const int n = GetParam();
+  Trace trace(n);
+  TagAllocator tags;
+  append_dissemination_barrier(trace, tags);
+  EXPECT_NO_THROW(trace.validate());
+  replay_trace(trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRanks, ::testing::Values(2, 3, 8, 13, 16, 30));
+
+TEST(Collectives, AllreduceVolumeForPowerOfTwo) {
+  Trace trace(8);
+  TagAllocator tags;
+  append_allreduce(trace, tags, 1000);
+  // log2(8)=3 stages x 8 ranks x 1000 B, no fold traffic.
+  EXPECT_EQ(trace.total_send_bytes(), 3 * 8 * 1000);
+}
+
+TEST(Collectives, AllreduceFoldTrafficForNonPowerOfTwo) {
+  Trace trace(10);
+  TagAllocator tags;
+  append_allreduce(trace, tags, 1000);
+  // Fold-in (2 transfers) + 3 stages x 8 + fold-out (2 transfers).
+  EXPECT_EQ(trace.total_send_bytes(), (2 + 3 * 8 + 2) * 1000);
+}
+
+TEST(Collectives, RejectDegenerateInputs) {
+  Trace one(1);
+  TagAllocator tags;
+  EXPECT_THROW(append_allreduce(one, tags, 100), std::invalid_argument);
+  Trace eight(8);
+  EXPECT_THROW(append_broadcast(eight, tags, 8, 100), std::invalid_argument);
+  EXPECT_THROW(append_reduce(eight, tags, -1, 100), std::invalid_argument);
+}
+
+TEST(Collectives, ComposeIntoOnePhaseProgram) {
+  // A small "application": barrier, broadcast, compute-ish exchange,
+  // allreduce — everything composes on one trace and replays.
+  Trace trace(12);
+  TagAllocator tags;
+  append_dissemination_barrier(trace, tags);
+  append_broadcast(trace, tags, 0, 64 * units::kKiB);
+  append_alltoall(trace, tags, 4096);
+  append_allreduce(trace, tags, 8192);
+  EXPECT_NO_THROW(trace.validate());
+  replay_trace(trace);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,111 @@
+// Tests for the experiment configuration file parser/renderer.
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dfly {
+namespace {
+
+TEST(ConfigIo, EmptyConfigYieldsDefaults) {
+  std::istringstream empty("");
+  const ExperimentOptions options = parse_config(empty);
+  EXPECT_EQ(options.topo.groups, 9);
+  EXPECT_EQ(options.net.chunk_bytes, 2048);
+  EXPECT_EQ(options.seed, 42u);
+}
+
+TEST(ConfigIo, ParsesAllSections) {
+  std::istringstream is(R"(
+# a comment
+[topology]
+groups = 3
+rows = 2
+cols = 4
+nodes_per_router = 2
+global_ports_per_router = 2
+chassis_per_cabinet = 1
+
+[network]
+chunk_bytes = 1024
+local_bandwidth_gib = 7.5   # inline comment
+router_delay_ns = 0
+
+[experiment]
+seed = 99
+msg_scale = 0.5
+eager_threshold = 65536
+)");
+  const ExperimentOptions options = parse_config(is);
+  EXPECT_EQ(options.topo.groups, 3);
+  EXPECT_EQ(options.topo.cols, 4);
+  EXPECT_EQ(options.net.chunk_bytes, 1024);
+  EXPECT_DOUBLE_EQ(options.net.local_bandwidth_gib, 7.5);
+  EXPECT_EQ(options.net.router_delay, 0);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_DOUBLE_EQ(options.msg_scale, 0.5);
+  EXPECT_EQ(options.replay.eager_threshold, 65536);
+}
+
+TEST(ConfigIo, RoundTripThroughRender) {
+  ExperimentOptions original;
+  original.topo = TopoParams::tiny();
+  original.net.chunk_bytes = 4096;
+  original.net.global_latency = 1234;
+  original.seed = 777;
+  original.msg_scale = 1.5;
+  original.replay.eager_threshold = 32768;
+
+  std::istringstream is(render_config(original));
+  const ExperimentOptions back = parse_config(is);
+  EXPECT_EQ(back.topo.groups, original.topo.groups);
+  EXPECT_EQ(back.topo.rows, original.topo.rows);
+  EXPECT_EQ(back.net.chunk_bytes, original.net.chunk_bytes);
+  EXPECT_EQ(back.net.global_latency, original.net.global_latency);
+  EXPECT_EQ(back.seed, original.seed);
+  EXPECT_DOUBLE_EQ(back.msg_scale, original.msg_scale);
+  EXPECT_EQ(back.replay.eager_threshold, original.replay.eager_threshold);
+}
+
+TEST(ConfigIo, RejectsUnknownKey) {
+  std::istringstream is("[topology]\nwarp_factor = 9\n");
+  EXPECT_THROW(parse_config(is), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsKeyOutsideKnownSection) {
+  std::istringstream is("groups = 9\n");  // no section
+  EXPECT_THROW(parse_config(is), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsMalformedLines) {
+  std::istringstream bad_section("[topology\ngroups = 9\n");
+  EXPECT_THROW(parse_config(bad_section), std::runtime_error);
+  std::istringstream no_equals("[topology]\ngroups 9\n");
+  EXPECT_THROW(parse_config(no_equals), std::runtime_error);
+  std::istringstream bad_int("[topology]\ngroups = nine\n");
+  EXPECT_THROW(parse_config(bad_int), std::runtime_error);
+  std::istringstream junk("[network]\nlocal_bandwidth_gib = 5.25x\n");
+  EXPECT_THROW(parse_config(junk), std::runtime_error);
+}
+
+TEST(ConfigIo, ValidatesResultingTopology) {
+  std::istringstream is("[topology]\ngroups = 1\n");
+  EXPECT_THROW(parse_config(is), std::invalid_argument);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(load_config("/no/such/config.conf"), std::runtime_error);
+}
+
+TEST(ConfigIo, DefaultsArePreservedForUnsetKeys) {
+  ExperimentOptions defaults;
+  defaults.msg_scale = 0.125;
+  std::istringstream is("[experiment]\nseed = 5\n");
+  const ExperimentOptions options = parse_config(is, defaults);
+  EXPECT_EQ(options.seed, 5u);
+  EXPECT_DOUBLE_EQ(options.msg_scale, 0.125);
+}
+
+}  // namespace
+}  // namespace dfly

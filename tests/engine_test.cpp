@@ -1,0 +1,111 @@
+// Unit tests for the discrete-event engine.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dfly {
+namespace {
+
+class Recorder : public EventHandler {
+ public:
+  void handle_event(SimTime now, const EventPayload& payload) override {
+    times.push_back(now);
+    kinds.push_back(payload.kind);
+  }
+  std::vector<SimTime> times;
+  std::vector<std::int32_t> kinds;
+};
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_EQ(engine.events_processed(), 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, DeliversEventsInTimeOrder) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule(30, &rec, EventPayload{3, 0, 0, 0});
+  engine.schedule(10, &rec, EventPayload{1, 0, 0, 0});
+  engine.schedule(20, &rec, EventPayload{2, 0, 0, 0});
+  engine.run();
+  EXPECT_EQ(rec.kinds, (std::vector<std::int32_t>{1, 2, 3}));
+  EXPECT_EQ(rec.times, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Engine engine;
+  Recorder rec;
+  for (std::int32_t k = 0; k < 50; ++k) engine.schedule(5, &rec, EventPayload{k, 0, 0, 0});
+  engine.run();
+  for (std::int32_t k = 0; k < 50; ++k) EXPECT_EQ(rec.kinds[k], k);
+}
+
+TEST(Engine, ScheduleAfterIsRelativeToNow) {
+  Engine engine;
+  struct Chainer : EventHandler {
+    Engine* eng;
+    std::vector<SimTime> seen;
+    void handle_event(SimTime now, const EventPayload& payload) override {
+      seen.push_back(now);
+      if (payload.kind < 3) eng->schedule_after(7, this, EventPayload{payload.kind + 1, 0, 0, 0});
+    }
+  } chain;
+  chain.eng = &engine;
+  engine.schedule(100, &chain, EventPayload{1, 0, 0, 0});
+  engine.run();
+  EXPECT_EQ(chain.seen, (std::vector<SimTime>{100, 107, 114}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineAndKeepsLaterEvents) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule(10, &rec, EventPayload{1, 0, 0, 0});
+  engine.schedule(50, &rec, EventPayload{2, 0, 0, 0});
+  engine.run_until(20);
+  EXPECT_EQ(rec.kinds.size(), 1u);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(rec.kinds.size(), 2u);
+  EXPECT_EQ(engine.now(), 50);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenQueueEmpty) {
+  Engine engine;
+  engine.run_until(42);
+  EXPECT_EQ(engine.now(), 42);
+}
+
+TEST(Engine, EventLimitActsAsWatchdog) {
+  Engine engine;
+  struct Loop : EventHandler {
+    Engine* eng;
+    void handle_event(SimTime, const EventPayload&) override {
+      eng->schedule_after(1, this, EventPayload{});
+    }
+  } loop;
+  loop.eng = &engine;
+  engine.set_event_limit(1000);
+  engine.schedule(0, &loop, EventPayload{});
+  engine.run();
+  EXPECT_TRUE(engine.hit_event_limit());
+  EXPECT_EQ(engine.events_processed(), 1000u);
+}
+
+TEST(Engine, ZeroDelaySelfScheduleRunsAtSameTime) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule(5, &rec, EventPayload{1, 0, 0, 0});
+  engine.run();
+  engine.schedule_after(0, &rec, EventPayload{2, 0, 0, 0});
+  engine.run();
+  EXPECT_EQ(rec.times, (std::vector<SimTime>{5, 5}));
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,44 @@
+// Tests for the logging facility.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfly {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet in tests/benches unless something is wrong.
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (const LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Error,
+                               LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmittingBelowLevelDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  log_debug("invisible");
+  log_info("invisible");
+  log_warn("invisible");
+  log_error("invisible");
+  set_log_level(LogLevel::Debug);
+  log_debug("visible in debug runs");
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,133 @@
+// Tests for task-mapping strategies (rank permutations over an allocation).
+#include "place/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+class MappingProperty : public ::testing::TestWithParam<MappingKind> {};
+
+TEST_P(MappingProperty, PreservesNodeSet) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(1);
+  const Placement base = make_placement(PlacementKind::RandomRouter, p, 500, rng);
+  const Placement mapped = apply_mapping(base, GetParam(), p, rng);
+  std::set<NodeId> before(base.nodes().begin(), base.nodes().end());
+  std::set<NodeId> after(mapped.nodes().begin(), mapped.nodes().end());
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(mapped.ranks(), base.ranks());
+  EXPECT_EQ(mapped.kind(), base.kind());
+}
+
+TEST_P(MappingProperty, DeterministicGivenRngState) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng_a(7), rng_b(7);
+  Rng place_a(3), place_b(3);
+  const Placement base_a = make_placement(PlacementKind::RandomChassis, p, 300, place_a);
+  const Placement base_b = make_placement(PlacementKind::RandomChassis, p, 300, place_b);
+  EXPECT_EQ(apply_mapping(base_a, GetParam(), p, rng_a).nodes(),
+            apply_mapping(base_b, GetParam(), p, rng_b).nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, MappingProperty, ::testing::ValuesIn(kAllMappings),
+                         [](const auto& pinfo) {
+                           std::string name = to_string(pinfo.param);
+                           for (char& ch : name)
+                             if (ch == '-') ch = '_';
+                           return name;
+                         });
+
+TEST(Mapping, LinearIsNodeIdOrder) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(2);
+  const Placement base = make_placement(PlacementKind::RandomNode, p, 200, rng);
+  const Placement mapped = apply_mapping(base, MappingKind::Linear, p, rng);
+  for (int r = 1; r < mapped.ranks(); ++r)
+    EXPECT_LT(mapped.node_of_rank(r - 1), mapped.node_of_rank(r));
+}
+
+TEST(Mapping, RandomActuallyPermutes) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(3);
+  const Placement base = make_placement(PlacementKind::Contiguous, p, 200, rng);
+  const Placement mapped = apply_mapping(base, MappingKind::Random, p, rng);
+  int moved = 0;
+  for (int r = 0; r < 200; ++r)
+    if (mapped.node_of_rank(r) != base.node_of_rank(r)) ++moved;
+  EXPECT_GT(moved, 100);
+}
+
+TEST(Mapping, GroupBlockedKeepsGroupsContiguousInRankOrder) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(4);
+  const Placement base = make_placement(PlacementKind::RandomRouter, p, 400, rng);
+  const Placement mapped = apply_mapping(base, MappingKind::GroupBlocked, p, rng);
+  const Coordinates coords(p);
+  // Each group's ranks form one contiguous rank interval.
+  std::set<GroupId> finished;
+  GroupId current = coords.group_of_node(mapped.node_of_rank(0));
+  for (int r = 1; r < mapped.ranks(); ++r) {
+    const GroupId g = coords.group_of_node(mapped.node_of_rank(r));
+    if (g != current) {
+      EXPECT_TRUE(finished.insert(current).second) << "group " << current << " reappeared";
+      current = g;
+      EXPECT_EQ(finished.count(g), 0u);
+    }
+  }
+}
+
+TEST(Mapping, RouterSpreadSeparatesAdjacentRanks) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(5);
+  const Placement base = make_placement(PlacementKind::Contiguous, p, 400, rng);
+  const Placement spread = apply_mapping(base, MappingKind::RouterSpread, p, rng);
+  const Coordinates coords(p);
+  // Under contiguous+linear, rank r and r+1 usually share a router; under
+  // router-spread they almost never do.
+  int together_linear = 0, together_spread = 0;
+  for (int r = 0; r + 1 < 400; ++r) {
+    if (coords.router_of_node(base.node_of_rank(r)) ==
+        coords.router_of_node(base.node_of_rank(r + 1)))
+      ++together_linear;
+    if (coords.router_of_node(spread.node_of_rank(r)) ==
+        coords.router_of_node(spread.node_of_rank(r + 1)))
+      ++together_spread;
+  }
+  EXPECT_GT(together_linear, 250);
+  EXPECT_LT(together_spread, 10);
+}
+
+TEST(Mapping, AffectsCommunicationTimeOfNeighborWorkload) {
+  // End-to-end: for a ring workload on a contiguous allocation, the linear
+  // mapping keeps neighbors adjacent (fast); random mapping scatters them.
+  const Workload ring{"ring", make_ring_trace(48, 64 * units::kKiB, 2)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  const DragonflyTopology topo(options.topo);
+
+  auto run_with = [&](MappingKind kind) {
+    Rng rng(11);
+    Placement base = make_placement(PlacementKind::Contiguous, options.topo, 48, rng);
+    Placement mapped = apply_mapping(base, kind, options.topo, rng);
+    Engine engine;
+    auto routing = make_routing(RoutingKind::Minimal, topo);
+    Network network(engine, topo, options.net, *routing, Rng(1));
+    ReplayEngine replay(engine, network, ring.trace, mapped);
+    replay.start();
+    engine.run();
+    EXPECT_TRUE(replay.finished());
+    return engine.now();
+  };
+
+  EXPECT_LT(run_with(MappingKind::Linear), run_with(MappingKind::Random));
+}
+
+}  // namespace
+}  // namespace dfly

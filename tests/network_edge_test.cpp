@@ -1,0 +1,187 @@
+// Edge-case tests for the network model: message sizes around chunk
+// boundaries, ejection contention, congestion-view consistency, NIC
+// saturation accounting, and inter-group delivery.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/minimal.hpp"
+#include "sim/engine.hpp"
+
+namespace dfly {
+namespace {
+
+struct Recorder : MessageSink {
+  std::vector<SimTime> delivered;
+  void on_message_delivered(MsgId, std::uint64_t, SimTime now) override {
+    delivered.push_back(now);
+  }
+};
+
+struct Fixture {
+  Fixture()
+      : topo(TopoParams::tiny()),
+        routing(topo),
+        network(engine, topo, NetworkParams::theta(), routing, Rng(1), &rec) {}
+
+  Engine engine;
+  DragonflyTopology topo;
+  MinimalRouting routing;
+  Recorder rec;
+  Network network;
+};
+
+class MessageSizeProperty : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(MessageSizeProperty, DeliversExactByteCount) {
+  Fixture f;
+  const Bytes size = GetParam();
+  f.network.send(0, f.topo.params().total_nodes() - 1, size, 0, false, true);
+  f.engine.run();
+  EXPECT_EQ(f.network.bytes_delivered(), size);
+  EXPECT_EQ(f.rec.delivered.size(), 1u);
+  EXPECT_EQ(f.network.messages_in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MessageSizeProperty,
+                         ::testing::Values(1, 2047, 2048, 2049, 4096, 100000, 1 << 20));
+
+TEST(NetworkEdge, LargerMessagesNeverArriveEarlier) {
+  // Strictly monotone delivery time in message size on a fixed path.
+  SimTime prev = 0;
+  for (const Bytes size : {1000, 10000, 100000, 1000000}) {
+    Fixture f;
+    f.network.send(0, 40, size, 0, false, true);
+    f.engine.run();
+    ASSERT_EQ(f.rec.delivered.size(), 1u);
+    EXPECT_GT(f.rec.delivered[0], prev);
+    prev = f.rec.delivered[0];
+  }
+}
+
+TEST(NetworkEdge, InterGroupDeliveryUsesGlobalChannel) {
+  Fixture f;
+  // Node 0 (group 0) -> last node (group 2).
+  f.network.send(0, f.topo.params().total_nodes() - 1, 64 * units::kKiB, 0, false, true);
+  f.engine.run();
+  Bytes global_traffic = 0;
+  for (RouterId r = 0; r < f.topo.params().total_routers(); ++r) {
+    const Router& router = f.network.router(r);
+    for (int p = f.topo.first_global_port(); p < f.topo.ports_per_router(); ++p)
+      global_traffic += router.port(p).traffic;
+  }
+  EXPECT_EQ(global_traffic, 64 * units::kKiB) << "exactly one global crossing (minimal)";
+}
+
+TEST(NetworkEdge, EjectionContentionSerializes) {
+  // Two senders to one destination node: total delivery time is bounded below
+  // by serializing both messages through the one terminal channel.
+  Fixture f;
+  const Bytes size = 256 * units::kKiB;
+  f.network.send(10, 0, size, 0, false, true);
+  f.network.send(20, 0, size, 1, false, true);
+  f.engine.run();
+  ASSERT_EQ(f.rec.delivered.size(), 2u);
+  const NetworkParams params = NetworkParams::theta();
+  const SimTime two_msgs_ser = units::transfer_time(2 * size, params.bandwidth(PortKind::Terminal));
+  EXPECT_GE(std::max(f.rec.delivered[0], f.rec.delivered[1]), two_msgs_ser);
+}
+
+TEST(NetworkEdge, CongestionViewSeesQueuedBytes) {
+  // Flood one router's output; during the run the congestion view must have
+  // reported nonzero queued bytes (checked via adaptive's behavior is
+  // indirect, so probe directly mid-simulation).
+  Fixture f;
+  const NodeId dst = 0;
+  for (NodeId src = 4; src < 24; src += 2) f.network.send(src, dst, 512 * units::kKiB);
+  f.engine.run_until(3000);  // mid-flight
+  Bytes max_queued = 0;
+  for (RouterId r = 0; r < f.topo.params().total_routers(); ++r)
+    for (int p = 0; p < f.network.router(r).num_ports(); ++p)
+      max_queued = std::max(max_queued, f.network.queued_bytes(r, p));
+  EXPECT_GT(max_queued, 0);
+  f.engine.run();
+  for (RouterId r = 0; r < f.topo.params().total_routers(); ++r)
+    for (int p = 0; p < f.network.router(r).num_ports(); ++p)
+      EXPECT_EQ(f.network.queued_bytes(r, p), 0);
+}
+
+TEST(NetworkEdge, NicSaturationAccruesUnderBackpressure) {
+  // Saturate a single node's ejection so upstream NICs run out of terminal
+  // credits; at least one NIC must record blocked (saturated) time.
+  Fixture f;
+  for (NodeId src = 2; src < 30; ++src) f.network.send(src, 1, 256 * units::kKiB);
+  f.engine.run();
+  f.network.finalize(f.engine.now());
+  SimTime nic_sat = 0;
+  for (NodeId n = 0; n < f.topo.params().total_nodes(); ++n)
+    nic_sat += f.network.nic(n).saturated_time;
+  EXPECT_GT(nic_sat, 0);
+}
+
+TEST(NetworkEdge, HopStatsAccumulateAcrossMessages) {
+  Fixture f;
+  f.network.send(0, 1, 100);   // same router: 1 router
+  f.network.send(0, 47, 5000);  // 5000 B = 3 chunks, cross-group (node 47 is in group 2)
+  f.engine.run();
+  const Network::HopStats& hs = f.network.hop_stats(0);
+  EXPECT_EQ(hs.chunks, 4u);
+  EXPECT_GT(hs.average(), 1.0);
+}
+
+TEST(NetworkEdge, AdaptiveNetworkDrainsUnderHotspot) {
+  // Same hotspot scenario with adaptive routing: must also fully drain.
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  AdaptiveRouting routing(topo);
+  Recorder rec;
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(9), &rec);
+  for (NodeId src = 1; src < topo.params().total_nodes(); ++src)
+    network.send(src, 0, 32 * units::kKiB, 0, false, true);
+  engine.set_event_limit(100'000'000);
+  engine.run();
+  EXPECT_FALSE(engine.hit_event_limit());
+  EXPECT_EQ(rec.delivered.size(), static_cast<std::size_t>(topo.params().total_nodes() - 1));
+}
+
+TEST(NetworkEdge, TinyBuffersStillDeadlockFree) {
+  // Minimum legal buffers: exactly one chunk per VC. Heavy random traffic
+  // must still drain (the VC escalation argument does not depend on depth).
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  NetworkParams params = NetworkParams::theta();
+  params.terminal_vc_buffer = params.chunk_bytes;
+  params.local_vc_buffer = params.chunk_bytes;
+  params.global_vc_buffer = params.chunk_bytes;
+  AdaptiveRouting routing(topo);
+  Network network(engine, topo, params, routing, Rng(11));
+  Rng traffic(13);
+  const int nodes = topo.params().total_nodes();
+  for (int i = 0; i < 500; ++i) {
+    const auto src = static_cast<NodeId>(traffic.uniform(nodes));
+    auto dst = static_cast<NodeId>(traffic.uniform(nodes - 1));
+    if (dst >= src) ++dst;
+    network.send(src, dst, 1 + static_cast<Bytes>(traffic.uniform(64 * units::kKiB)));
+  }
+  engine.set_event_limit(200'000'000);
+  engine.run();
+  EXPECT_FALSE(engine.hit_event_limit()) << "possible deadlock with single-chunk buffers";
+  EXPECT_EQ(network.messages_in_flight(), 0u);
+}
+
+TEST(NetworkEdge, SaturationIntervalsCloseOnFinalize) {
+  // A run stopped mid-congestion must close open blocked intervals.
+  Fixture f;
+  for (NodeId src = 2; src < 40; ++src) f.network.send(src, 0, units::kMiB);
+  f.engine.run_until(5000);
+  f.network.finalize(f.engine.now());
+  // No port may report blocked_since still open after finalize.
+  for (RouterId r = 0; r < f.topo.params().total_routers(); ++r) {
+    const Router& router = f.network.router(r);
+    for (int p = 0; p < router.num_ports(); ++p)
+      EXPECT_LT(router.port(p).blocked_since, 0) << "open interval survived finalize";
+  }
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,205 @@
+// Unit tests for the packet-level network model: delivery timing, credit
+// conservation, traffic accounting and saturation measurement.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/minimal.hpp"
+#include "sim/engine.hpp"
+
+namespace dfly {
+namespace {
+
+struct Recorder : MessageSink {
+  std::vector<std::pair<std::uint64_t, SimTime>> injected;
+  std::vector<std::pair<std::uint64_t, SimTime>> delivered;
+  void on_message_injected(MsgId, std::uint64_t user, SimTime now) override {
+    injected.emplace_back(user, now);
+  }
+  void on_message_delivered(MsgId, std::uint64_t user, SimTime now) override {
+    delivered.emplace_back(user, now);
+  }
+};
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture()
+      : topo(TopoParams::tiny()),
+        routing(topo),
+        network(engine, topo, params, routing, Rng(1), &rec) {}
+
+  Engine engine;
+  DragonflyTopology topo;
+  NetworkParams params = NetworkParams::theta();
+  MinimalRouting routing;
+  Recorder rec;
+  Network network;
+};
+
+TEST_F(NetworkFixture, SingleChunkSameRouterTiming) {
+  // Nodes 0 and 1 share router 0 (tiny: 2 nodes/router). One 1000-byte
+  // message = one chunk: NIC serialization + terminal latency, then ejection
+  // serialization + terminal latency.
+  network.send(0, 1, 1000, 7, true, true);
+  engine.run();
+  const SimTime ser = units::transfer_time(1000, params.bandwidth(PortKind::Terminal));
+  ASSERT_EQ(rec.injected.size(), 1u);
+  ASSERT_EQ(rec.delivered.size(), 1u);
+  EXPECT_EQ(rec.injected[0].first, 7u);
+  EXPECT_EQ(rec.injected[0].second, ser);
+  EXPECT_EQ(rec.delivered[0].second, ser + params.terminal_latency + params.router_delay + ser +
+                                         params.terminal_latency);
+}
+
+TEST_F(NetworkFixture, MultiChunkMessagePipelineIsFasterThanStoreAndForward) {
+  // 8 KiB = 4 chunks; NIC keeps injecting while the router forwards, so total
+  // time is far below 4x the single-chunk path but at least the pure
+  // serialization of 4 chunks.
+  const Bytes size = 8 * units::kKiB;
+  network.send(0, 1, size, 1, true, true);
+  engine.run();
+  const SimTime chunk_ser = units::transfer_time(params.chunk_bytes, params.bandwidth(PortKind::Terminal));
+  ASSERT_EQ(rec.delivered.size(), 1u);
+  const SimTime total = rec.delivered[0].second;
+  EXPECT_GE(total, 4 * chunk_ser);
+  EXPECT_LT(total,
+            2 * (4 * chunk_ser + 2 * params.terminal_latency + params.router_delay));
+}
+
+TEST_F(NetworkFixture, CreditsFullyRestoredAfterDrain) {
+  Rng traffic(3);
+  const int nodes = topo.params().total_nodes();
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<NodeId>(traffic.uniform(nodes));
+    auto dst = static_cast<NodeId>(traffic.uniform(nodes - 1));
+    if (dst >= src) ++dst;
+    network.send(src, dst, 1 + static_cast<Bytes>(traffic.uniform(10000)));
+  }
+  engine.run();
+  for (RouterId r = 0; r < topo.params().total_routers(); ++r) {
+    const Router& router = network.router(r);
+    for (int p = 0; p < router.num_ports(); ++p) {
+      const OutPort& port = router.port(p);
+      EXPECT_TRUE(port.queue.empty());
+      EXPECT_EQ(port.queued_bytes, 0);
+      for (const Bytes c : port.credits)
+        EXPECT_EQ(c, params.vc_buffer(port.kind)) << "router " << r << " port " << p;
+    }
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    EXPECT_EQ(network.nic(n).credits, params.terminal_vc_buffer);
+    EXPECT_TRUE(network.nic(n).queue.empty());
+  }
+  EXPECT_EQ(network.messages_in_flight(), 0u);
+}
+
+TEST_F(NetworkFixture, TrafficAccountingConservesBytes) {
+  const Bytes size = 100 * units::kKB;
+  network.send(0, topo.params().total_nodes() - 1, size, 0, false, true);
+  engine.run();
+  EXPECT_EQ(network.bytes_delivered(), size);
+  // Ejection terminal channel at the destination carries exactly the payload.
+  const Coordinates& c = topo.coords();
+  const NodeId dst = topo.params().total_nodes() - 1;
+  const Router& router = network.router(c.router_of_node(dst));
+  EXPECT_EQ(router.port(c.slot_of_node(dst)).traffic, size);
+  // Source NIC injected exactly the payload.
+  EXPECT_EQ(network.nic(0).traffic, size);
+}
+
+TEST_F(NetworkFixture, HopStatsMatchRouteLengths) {
+  // Same-router message: 1 router traversed.
+  network.send(0, 1, 100);
+  engine.run();
+  EXPECT_EQ(network.hop_stats(0).chunks, 1u);
+  EXPECT_DOUBLE_EQ(network.hop_stats(0).average(), 1.0);
+}
+
+TEST_F(NetworkFixture, NoSaturationOnLightTraffic) {
+  network.send(0, 1, 100);
+  engine.run();
+  network.finalize(engine.now());
+  for (RouterId r = 0; r < topo.params().total_routers(); ++r) {
+    const Router& router = network.router(r);
+    for (int p = 0; p < router.num_ports(); ++p)
+      EXPECT_EQ(router.port(p).saturated_time, 0);
+  }
+}
+
+TEST_F(NetworkFixture, HeavyFanInSaturatesAndStillDrains) {
+  // Many nodes hammer one destination node: its terminal channel must
+  // saturate upstream buffers, and everything must still complete.
+  const NodeId dst = 0;
+  const int nodes = topo.params().total_nodes();
+  for (NodeId src = 1; src < nodes; ++src) network.send(src, dst, 64 * units::kKiB);
+  engine.set_event_limit(50'000'000);
+  engine.run();
+  ASSERT_FALSE(engine.hit_event_limit()) << "fan-in traffic wedged";
+  network.finalize(engine.now());
+  EXPECT_EQ(network.bytes_delivered(), static_cast<Bytes>(nodes - 1) * 64 * units::kKiB);
+  SimTime total_saturation = 0;
+  for (RouterId r = 0; r < topo.params().total_routers(); ++r) {
+    const Router& router = network.router(r);
+    for (int p = 0; p < router.num_ports(); ++p)
+      total_saturation += router.port(p).saturated_time;
+  }
+  EXPECT_GT(total_saturation, 0) << "fan-in must exhaust some buffers";
+}
+
+TEST_F(NetworkFixture, MessagesRecycleUnderOpenLoopLoad) {
+  // Repeatedly send and drain: the message pool must not grow unboundedly.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) network.send(0, 3, 4096);
+    engine.run();
+    EXPECT_EQ(network.messages_in_flight(), 0u);
+  }
+}
+
+TEST(NetworkParams, ValidationRejectsNonsense) {
+  NetworkParams p = NetworkParams::theta();
+  p.chunk_bytes = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = NetworkParams::theta();
+  p.local_vc_buffer = p.chunk_bytes - 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = NetworkParams::theta();
+  p.global_bandwidth_gib = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(NetworkParams, ThetaMatchesPaperSectionII) {
+  const NetworkParams p = NetworkParams::theta();
+  EXPECT_DOUBLE_EQ(p.terminal_bandwidth_gib, 16.0);
+  EXPECT_DOUBLE_EQ(p.local_bandwidth_gib, 5.25);
+  EXPECT_DOUBLE_EQ(p.global_bandwidth_gib, 4.69);
+  EXPECT_EQ(p.terminal_vc_buffer, 8 * units::kKiB);
+  EXPECT_EQ(p.local_vc_buffer, 8 * units::kKiB);
+  EXPECT_EQ(p.global_vc_buffer, 16 * units::kKiB);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    DragonflyTopology topo(TopoParams::tiny());
+    NetworkParams params = NetworkParams::theta();
+    MinimalRouting routing(topo);
+    Recorder rec;
+    Network network(engine, topo, params, routing, Rng(42), &rec);
+    Rng traffic(9);
+    for (int i = 0; i < 100; ++i) {
+      const auto src = static_cast<NodeId>(traffic.uniform(topo.params().total_nodes()));
+      auto dst = static_cast<NodeId>(traffic.uniform(topo.params().total_nodes() - 1));
+      if (dst >= src) ++dst;
+      network.send(src, dst, 1 + static_cast<Bytes>(traffic.uniform(50000)), i, false, true);
+    }
+    engine.run();
+    return std::make_pair(engine.now(), rec.delivered);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,108 @@
+// The classic 1-D dragonfly (Kim et al. [1]: routers of a group all-to-all
+// connected, no row/column structure) is the rows=1 degenerate case of our
+// Cascade topology. These tests exercise that configuration end to end.
+#include <gtest/gtest.h>
+
+#include "core/run_matrix.hpp"
+#include "routing/minimal.hpp"
+#include "util/stats.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+TopoParams classic_dragonfly() {
+  // a = 8 routers per group, h = 4 global ports, p = 4 nodes; g = 9 groups
+  // (the canonical balanced dragonfly has g = a*h + 1 = 33; we keep 9 so
+  // 8*4 = 32 ports spread evenly over 8 peers).
+  TopoParams p;
+  p.groups = 9;
+  p.rows = 1;
+  p.cols = 8;
+  p.nodes_per_router = 4;
+  p.global_ports_per_router = 4;
+  p.chassis_per_cabinet = 1;
+  return p;
+}
+
+TEST(OneDDragonfly, ValidatesAndBuilds) {
+  const TopoParams p = classic_dragonfly();
+  EXPECT_NO_THROW(p.validate());
+  const DragonflyTopology topo(p);
+  // Ports: 4 terminal + 7 row + 0 col + 4 global.
+  EXPECT_EQ(topo.ports_per_router(), 15);
+  EXPECT_EQ(topo.first_col_port(), topo.first_global_port());  // no column ports
+}
+
+TEST(OneDDragonfly, IntraGroupIsSingleHop) {
+  const DragonflyTopology topo(classic_dragonfly());
+  MinimalPathTable table(topo);
+  // Any two distinct routers of a group are directly connected.
+  for (RouterId a = 0; a < 8; ++a)
+    for (RouterId b = 0; b < 8; ++b)
+      EXPECT_EQ(table.min_hops(a, b), a == b ? 0 : 1);
+}
+
+TEST(OneDDragonfly, InterGroupAtMostThreeHops) {
+  // Classic dragonfly minimal: local + global + local.
+  const DragonflyTopology topo(classic_dragonfly());
+  MinimalPathTable table(topo);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<RouterId>(rng.uniform(topo.params().total_routers()));
+    const auto b = static_cast<RouterId>(rng.uniform(topo.params().total_routers()));
+    if (topo.coords().group_of_router(a) == topo.coords().group_of_router(b)) continue;
+    const int hops = table.min_hops(a, b);
+    EXPECT_GE(hops, 1);
+    EXPECT_LE(hops, 3);
+  }
+}
+
+TEST(OneDDragonfly, MinimalRoutesAreValid) {
+  const DragonflyTopology topo(classic_dragonfly());
+  MinimalRouting routing(topo);
+  struct Idle : CongestionView {
+    Bytes queued_bytes(RouterId, int) const override { return 0; }
+  } idle;
+  Rng rng(2);
+  const Coordinates& c = topo.coords();
+  for (int i = 0; i < 500; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(topo.params().total_nodes()));
+    auto dst = static_cast<NodeId>(rng.uniform(topo.params().total_nodes() - 1));
+    if (dst >= src) ++dst;
+    const Route route = routing.compute(src, dst, idle, rng);
+    EXPECT_EQ(route.first().router, c.router_of_node(src));
+    EXPECT_EQ(route.last().router, c.router_of_node(dst));
+    EXPECT_LE(route.size(), 4);  // <= 3 router hops + ejection
+    for (int h = 0; h + 1 < route.size(); ++h)
+      EXPECT_EQ(topo.neighbor(route[h].router, route[h].port), route[h + 1].router);
+  }
+}
+
+TEST(OneDDragonfly, FullExperimentMatrixRuns) {
+  ExperimentOptions options;
+  options.topo = classic_dragonfly();
+  options.seed = 11;
+  options.max_events = 200'000'000;
+  const Workload ring{"ring", make_ring_trace(64, 64 * units::kKiB, 2)};
+  const auto results = run_matrix(ring, table1_configs(), options, 2);
+  for (const ExperimentResult& r : results) {
+    EXPECT_FALSE(r.hit_event_limit) << r.config;
+    EXPECT_EQ(r.metrics.comm_time_ms.size(), 64u);
+  }
+}
+
+TEST(OneDDragonfly, LocalityStillWinsOnHops) {
+  ExperimentOptions options;
+  options.topo = classic_dragonfly();
+  options.seed = 13;
+  const Workload ring{"ring", make_ring_trace(64, 16 * units::kKiB, 1)};
+  const auto cont = run_experiment(
+      ring, ExperimentConfig{PlacementKind::Contiguous, RoutingKind::Minimal}, options);
+  const auto rand = run_experiment(
+      ring, ExperimentConfig{PlacementKind::RandomNode, RoutingKind::Minimal}, options);
+  EXPECT_LT(percentile(cont.metrics.avg_hops, 50), percentile(rand.metrics.avg_hops, 50));
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,162 @@
+// Unit and property tests for the five job placement policies.
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace dfly {
+namespace {
+
+class PlacementProperty : public ::testing::TestWithParam<PlacementKind> {};
+
+TEST_P(PlacementProperty, AssignsDistinctValidNodes) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(1);
+  const Placement placement = make_placement(GetParam(), p, 1000, rng);
+  EXPECT_EQ(placement.ranks(), 1000);
+  std::set<NodeId> nodes;
+  for (int r = 0; r < placement.ranks(); ++r) {
+    const NodeId n = placement.node_of_rank(r);
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, p.total_nodes());
+    EXPECT_TRUE(nodes.insert(n).second);
+    EXPECT_EQ(placement.rank_of_node(n), r);
+    EXPECT_TRUE(placement.contains_node(n));
+  }
+}
+
+TEST_P(PlacementProperty, DeterministicForSameSeed) {
+  const TopoParams p = TopoParams::theta();
+  Rng r1(77), r2(77);
+  const Placement a = make_placement(GetParam(), p, 500, r1);
+  const Placement b = make_placement(GetParam(), p, 500, r2);
+  EXPECT_EQ(a.nodes(), b.nodes());
+}
+
+TEST_P(PlacementProperty, RespectsAvailableSet) {
+  const TopoParams p = TopoParams::theta();
+  // Only even nodes available.
+  std::vector<NodeId> available;
+  for (NodeId n = 0; n < p.total_nodes(); n += 2) available.push_back(n);
+  Rng rng(3);
+  const Placement placement = make_placement(GetParam(), p, 300, available, rng);
+  for (int r = 0; r < placement.ranks(); ++r) EXPECT_EQ(placement.node_of_rank(r) % 2, 0);
+}
+
+TEST_P(PlacementProperty, ThrowsWhenNotEnoughNodes) {
+  const TopoParams p = TopoParams::tiny();
+  Rng rng(4);
+  EXPECT_THROW(make_placement(GetParam(), p, p.total_nodes() + 1, rng), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementProperty, ::testing::ValuesIn(kAllPlacements),
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
+
+TEST(Placement, ContiguousTakesLowestNodeIds) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(5);
+  const Placement placement = make_placement(PlacementKind::Contiguous, p, 100, rng);
+  for (int r = 0; r < 100; ++r) EXPECT_EQ(placement.node_of_rank(r), r);
+}
+
+TEST(Placement, ContiguousMinimizesRouterCount) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(6);
+  const Placement placement = make_placement(PlacementKind::Contiguous, p, 1000, rng);
+  EXPECT_EQ(serving_routers(p, placement).size(), 250u);  // ceil(1000/4)
+}
+
+TEST(Placement, RandomRouterKeepsRouterNodesTogether) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(7);
+  const Placement placement = make_placement(PlacementKind::RandomRouter, p, 1000, rng);
+  const Coordinates coords(p);
+  // Count nodes per used router: all but at most one router fully used.
+  std::map<RouterId, int> per_router;
+  for (const NodeId n : placement.nodes()) ++per_router[coords.router_of_node(n)];
+  int partial = 0;
+  for (const auto& [router, count] : per_router)
+    if (count != p.nodes_per_router) ++partial;
+  EXPECT_LE(partial, 1);
+  EXPECT_EQ(per_router.size(), 250u);
+}
+
+TEST(Placement, RandomChassisKeepsChassisNodesTogether) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(8);
+  const int chassis_nodes = p.cols * p.nodes_per_router;  // 64
+  const Placement placement = make_placement(PlacementKind::RandomChassis, p, 1000, rng);
+  const Coordinates coords(p);
+  std::map<int, int> per_chassis;
+  for (const NodeId n : placement.nodes())
+    ++per_chassis[coords.chassis_of_router(coords.router_of_node(n))];
+  int partial = 0;
+  for (const auto& [chassis, count] : per_chassis)
+    if (count != chassis_nodes) ++partial;
+  EXPECT_LE(partial, 1);
+  EXPECT_EQ(per_chassis.size(), 16u);  // ceil(1000/64)
+}
+
+TEST(Placement, RandomCabinetKeepsCabinetNodesTogether) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(9);
+  const int cabinet_nodes = 3 * p.cols * p.nodes_per_router;  // 192
+  const Placement placement = make_placement(PlacementKind::RandomCabinet, p, 1000, rng);
+  const Coordinates coords(p);
+  std::map<int, int> per_cabinet;
+  for (const NodeId n : placement.nodes())
+    ++per_cabinet[coords.cabinet_of_router(coords.router_of_node(n))];
+  int partial = 0;
+  for (const auto& [cab, count] : per_cabinet)
+    if (count != cabinet_nodes) ++partial;
+  EXPECT_LE(partial, 1);
+  EXPECT_EQ(per_cabinet.size(), 6u);  // ceil(1000/192)
+}
+
+TEST(Placement, RandomNodeSpreadsAcrossGroups) {
+  const TopoParams p = TopoParams::theta();
+  Rng rng(10);
+  const Placement placement = make_placement(PlacementKind::RandomNode, p, 1000, rng);
+  const Coordinates coords(p);
+  std::set<GroupId> groups;
+  for (const NodeId n : placement.nodes()) groups.insert(coords.group_of_node(n));
+  EXPECT_EQ(groups.size(), static_cast<std::size_t>(p.groups));
+  // And across nearly all routers (1000 random nodes over 864 routers).
+  EXPECT_GT(serving_routers(p, placement).size(), 500u);
+}
+
+TEST(Placement, RandomCabinetUsesDifferentCabinetsAcrossSeeds) {
+  const TopoParams p = TopoParams::theta();
+  Rng r1(11), r2(12);
+  const Placement a = make_placement(PlacementKind::RandomCabinet, p, 500, r1);
+  const Placement b = make_placement(PlacementKind::RandomCabinet, p, 500, r2);
+  EXPECT_NE(a.nodes(), b.nodes());
+}
+
+TEST(Placement, RemainingNodesAreComplement) {
+  const TopoParams p = TopoParams::tiny();
+  Rng rng(13);
+  const Placement placement = make_placement(PlacementKind::RandomNode, p, 10, rng);
+  const std::vector<NodeId> rest = remaining_nodes(p, placement);
+  EXPECT_EQ(static_cast<int>(rest.size()), p.total_nodes() - 10);
+  for (const NodeId n : rest) EXPECT_FALSE(placement.contains_node(n));
+}
+
+TEST(Placement, RejectsDuplicateNodeAssignment) {
+  EXPECT_THROW(Placement(PlacementKind::Contiguous, {0, 1, 1}, 10), std::invalid_argument);
+  EXPECT_THROW(Placement(PlacementKind::Contiguous, {0, 42}, 10), std::invalid_argument);
+}
+
+TEST(Placement, PolicyNamesMatchTableI) {
+  EXPECT_STREQ(to_string(PlacementKind::Contiguous), "cont");
+  EXPECT_STREQ(to_string(PlacementKind::RandomCabinet), "cab");
+  EXPECT_STREQ(to_string(PlacementKind::RandomChassis), "chas");
+  EXPECT_STREQ(to_string(PlacementKind::RandomRouter), "rotr");
+  EXPECT_STREQ(to_string(PlacementKind::RandomNode), "rand");
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,180 @@
+// Tests for the rendezvous message protocol (ReplayOptions::eager_threshold).
+#include <gtest/gtest.h>
+
+#include "replay/replay.hpp"
+#include "routing/minimal.hpp"
+#include "workload/exchange.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+struct Harness {
+  Harness(const Trace& trace_in, ReplayOptions options)
+      : trace(trace_in),
+        topo(TopoParams::tiny()),
+        routing(topo),
+        network(engine, topo, NetworkParams::theta(), routing, Rng(1)),
+        placement(make_placement_helper(topo.params(), trace.ranks())),
+        replay(engine, network, trace, placement, options) {}
+
+  static Placement make_placement_helper(const TopoParams& p, int ranks) {
+    Rng rng(5);
+    return make_placement(PlacementKind::RandomNode, p, ranks, rng);
+  }
+
+  SimTime run() {
+    replay.start();
+    engine.set_event_limit(100'000'000);
+    engine.run();
+    EXPECT_FALSE(engine.hit_event_limit());
+    return engine.now();
+  }
+
+  Trace trace;
+  Engine engine;
+  DragonflyTopology topo;
+  MinimalRouting routing;
+  Network network;
+  Placement placement;
+  ReplayEngine replay;
+};
+
+ReplayOptions rendezvous_at(Bytes threshold) {
+  ReplayOptions options;
+  options.eager_threshold = threshold;
+  return options;
+}
+
+TEST(Rendezvous, LargeExchangeCompletes) {
+  Trace trace(2);
+  TagAllocator tags;
+  emit_exchange(trace, tags, 0, 1, 500 * units::kKB);
+  emit_phase_end(trace);
+  Harness h(trace, rendezvous_at(64 * units::kKiB));
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Rendezvous, SmallMessagesStayEager) {
+  // Below the threshold, timings must be identical to the pure-eager run.
+  Trace trace = make_ring_trace(8, 16 * units::kKiB, 2);
+  Harness eager(trace, ReplayOptions{});
+  Harness rdv(trace, rendezvous_at(64 * units::kKiB));
+  const SimTime t_eager = eager.run();
+  const SimTime t_rdv = rdv.run();
+  EXPECT_EQ(t_eager, t_rdv);
+  for (int r = 0; r < 8; ++r)
+    EXPECT_EQ(eager.replay.rank_finish_time(r), rdv.replay.rank_finish_time(r));
+}
+
+TEST(Rendezvous, AddsAtLeastOneRoundTrip) {
+  // A single large transfer takes strictly longer under rendezvous (RTS+CTS
+  // round trip before the payload moves).
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::isend(1, 200 * units::kKB, 0));
+  trace.rank(0).push_back(TraceOp::waitall());
+  trace.rank(1).push_back(TraceOp::irecv(0, 200 * units::kKB, 0));
+  trace.rank(1).push_back(TraceOp::waitall());
+  Harness eager(trace, ReplayOptions{});
+  Harness rdv(trace, rendezvous_at(1 * units::kKiB));
+  const SimTime t_eager = eager.run();
+  const SimTime t_rdv = rdv.run();
+  EXPECT_GT(t_rdv, t_eager);
+}
+
+TEST(Rendezvous, LateRecvDelaysPayload) {
+  // Receiver busy with a delay before posting its recv: under rendezvous the
+  // sender's payload cannot start until the recv is posted, so the receive
+  // completes later than the eager equivalent.
+  Trace trace(2);
+  const SimTime pause = 500 * units::kMicrosecond;
+  trace.rank(0).push_back(TraceOp::isend(1, 300 * units::kKB, 0));
+  trace.rank(0).push_back(TraceOp::waitall());
+  trace.rank(1).push_back(TraceOp::pause(pause));
+  trace.rank(1).push_back(TraceOp::recv(0, 300 * units::kKB, 0));
+  Harness eager(trace, ReplayOptions{});
+  Harness rdv(trace, rendezvous_at(1 * units::kKiB));
+  const SimTime t_eager = eager.run();
+  const SimTime t_rdv = rdv.run();
+  // Eager: payload overlaps the pause, finish ~ pause + ejection remainder.
+  // Rendezvous: payload starts only after the pause, finish ~ pause + full
+  // transfer + control round trip.
+  EXPECT_GT(t_rdv, t_eager);
+  EXPECT_GT(t_rdv, pause);
+}
+
+TEST(Rendezvous, BlockingSendWaitsForPayloadInjection) {
+  // A blocking rendezvous Send completes only after CTS + payload injection,
+  // so the sender finishes later than with eager.
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::send(1, 200 * units::kKB, 0));
+  trace.rank(1).push_back(TraceOp::recv(0, 200 * units::kKB, 0));
+  Harness eager(trace, ReplayOptions{});
+  Harness rdv(trace, rendezvous_at(1 * units::kKiB));
+  eager.run();
+  rdv.run();
+  EXPECT_GT(rdv.replay.rank_finish_time(0), eager.replay.rank_finish_time(0));
+}
+
+TEST(Rendezvous, EarlyRtsParksUntilRecvPosted) {
+  // Sender fires the RTS long before the receiver posts a recv; the
+  // unexpected-RTS path must hold it and reply CTS at post time.
+  Trace trace(3);
+  trace.rank(0).push_back(TraceOp::isend(1, 100 * units::kKB, 7));
+  trace.rank(0).push_back(TraceOp::waitall());
+  trace.rank(2).push_back(TraceOp::send(1, 50 * units::kKB, 0));
+  trace.rank(1).push_back(TraceOp::recv(2, 50 * units::kKB, 0));
+  trace.rank(1).push_back(TraceOp::recv(0, 100 * units::kKB, 7));
+  Harness h(trace, rendezvous_at(4 * units::kKiB));
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Rendezvous, ManyConcurrentLargeExchangesDrain) {
+  Trace trace(16);
+  TagAllocator tags;
+  for (int i = 0; i < 3; ++i) {
+    for (int r = 0; r < 16; ++r) {
+      const int peer = (r + 5) % 16;
+      if (peer == r) continue;
+      const std::int32_t tag = tags.next(r, peer);
+      trace.rank(r).push_back(TraceOp::isend(peer, 128 * units::kKiB, tag));
+      trace.rank(peer).push_back(TraceOp::irecv(r, 128 * units::kKiB, tag));
+    }
+    emit_phase_end(trace);
+  }
+  Harness h(trace, rendezvous_at(32 * units::kKiB));
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Rendezvous, MixedProtocolTrafficCompletes) {
+  // Sizes straddling the threshold in one program.
+  Trace trace(4);
+  TagAllocator tags;
+  emit_exchange(trace, tags, 0, 1, 1 * units::kKiB);     // eager
+  emit_exchange(trace, tags, 2, 3, 512 * units::kKiB);   // rendezvous
+  emit_exchange(trace, tags, 0, 3, 64 * units::kKiB);    // rendezvous
+  emit_exchange(trace, tags, 1, 2, 2 * units::kKiB);     // eager
+  emit_phase_end(trace);
+  Harness h(trace, rendezvous_at(32 * units::kKiB));
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Rendezvous, RejectsBadOptions) {
+  Trace trace(2);
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  Rng rng(2);
+  Placement placement = make_placement(PlacementKind::Contiguous, topo.params(), 2, rng);
+  ReplayOptions bad;
+  bad.control_bytes = 0;
+  EXPECT_THROW(ReplayEngine(engine, network, trace, placement, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,186 @@
+// Unit tests for the MPI-semantics replay engine.
+#include "replay/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/minimal.hpp"
+#include "workload/exchange.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+/// Builds the scaffolding for replaying a trace on the tiny topology with a
+/// contiguous placement and minimal routing.
+struct Harness {
+  explicit Harness(const Trace& trace_in, PlacementKind kind = PlacementKind::Contiguous)
+      : trace(trace_in),
+        topo(TopoParams::tiny()),
+        routing(topo),
+        network(engine, topo, NetworkParams::theta(), routing, Rng(1)),
+        placement(make_placement_helper(kind, topo.params(), trace.ranks())),
+        replay(engine, network, trace, placement) {}
+
+  static Placement make_placement_helper(PlacementKind kind, const TopoParams& p, int ranks) {
+    Rng rng(5);
+    return make_placement(kind, p, ranks, rng);
+  }
+
+  SimTime run() {
+    replay.start();
+    engine.set_event_limit(100'000'000);
+    engine.run();
+    EXPECT_FALSE(engine.hit_event_limit());
+    return engine.now();
+  }
+
+  Trace trace;
+  Engine engine;
+  DragonflyTopology topo;
+  MinimalRouting routing;
+  Network network;
+  Placement placement;
+  ReplayEngine replay;
+};
+
+TEST(Replay, EmptyTraceFinishesAtTimeZero) {
+  Trace trace(4);
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(h.replay.rank_finish_time(r), 0);
+}
+
+TEST(Replay, SimpleExchangeCompletes) {
+  Trace trace(2);
+  TagAllocator tags;
+  emit_exchange(trace, tags, 0, 1, 10000);
+  emit_phase_end(trace);
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+  EXPECT_GT(h.replay.rank_finish_time(0), 0);
+  EXPECT_GT(h.replay.rank_finish_time(1), 0);
+}
+
+TEST(Replay, BlockingSendRecvOrdering) {
+  // Rank 0 sends twice (blocking); rank 1 receives in order. Finish times
+  // must be positive and rank 1 finishes no earlier than rank 0 starts its
+  // second send.
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::send(1, 5000, 0));
+  trace.rank(0).push_back(TraceOp::send(1, 5000, 1));
+  trace.rank(1).push_back(TraceOp::recv(0, 5000, 0));
+  trace.rank(1).push_back(TraceOp::recv(0, 5000, 1));
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+  // Receiver finishes after the sender (delivery lags injection).
+  EXPECT_GT(h.replay.rank_finish_time(1), h.replay.rank_finish_time(0));
+}
+
+TEST(Replay, UnexpectedMessageBuffering) {
+  // Rank 0 isends before rank 1 posts its recv (rank 1 first waits for a
+  // message from rank 2, delaying its recv of rank 0's early message).
+  Trace trace(3);
+  trace.rank(0).push_back(TraceOp::isend(1, 1000, 0));
+  trace.rank(0).push_back(TraceOp::waitall());
+  trace.rank(2).push_back(TraceOp::send(1, 200000, 0));
+  trace.rank(1).push_back(TraceOp::recv(2, 200000, 0));
+  trace.rank(1).push_back(TraceOp::recv(0, 1000, 0));
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Replay, BarrierSynchronizesAllRanks) {
+  // Rank 0 does a long transfer to rank 1 before the barrier; ranks 2,3 hit
+  // the barrier immediately. After the barrier every rank records a delay.
+  // All finish times must be >= the transfer completion.
+  Trace trace(4);
+  trace.rank(0).push_back(TraceOp::send(1, 500 * units::kKB, 0));
+  trace.rank(1).push_back(TraceOp::recv(0, 500 * units::kKB, 0));
+  for (int r = 0; r < 4; ++r) trace.rank(r).push_back(TraceOp::barrier());
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+  const SimTime t1 = h.replay.rank_finish_time(1);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(h.replay.rank_finish_time(r), t1)
+      << "barrier must equalize finish times in this trace";
+}
+
+TEST(Replay, ConsecutiveBarriers) {
+  Trace trace(3);
+  for (int i = 0; i < 5; ++i)
+    for (int r = 0; r < 3; ++r) trace.rank(r).push_back(TraceOp::barrier());
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Replay, DelayAdvancesLocalTime) {
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::pause(12345));
+  trace.rank(1).push_back(TraceOp::pause(100));
+  Harness h(trace);
+  h.run();
+  EXPECT_EQ(h.replay.rank_finish_time(0), 12345);
+  EXPECT_EQ(h.replay.rank_finish_time(1), 100);
+}
+
+TEST(Replay, WaitAllDrainsBothSendsAndRecvs) {
+  Trace trace(2);
+  TagAllocator tags;
+  for (int i = 0; i < 10; ++i) emit_exchange(trace, tags, 0, 1, 30000);
+  emit_phase_end(trace);
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Replay, CompletionCallbackFiresOnce) {
+  Trace trace = make_ring_trace(8, 10000);
+  Harness h(trace);
+  int calls = 0;
+  SimTime when = -1;
+  h.replay.set_completion_callback([&](SimTime t) {
+    ++calls;
+    when = t;
+  });
+  const SimTime end = h.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_LE(when, end);
+  EXPECT_TRUE(h.replay.finished());
+}
+
+TEST(Replay, RingTraceFinishTimesArePositiveAndBounded) {
+  Trace trace = make_ring_trace(16, 64 * units::kKiB, 3);
+  Harness h(trace, PlacementKind::RandomNode);
+  const SimTime end = h.run();
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_GT(h.replay.rank_finish_time(r), 0);
+    EXPECT_LE(h.replay.rank_finish_time(r), end);
+  }
+}
+
+TEST(Replay, MismatchedPlacementThrows) {
+  Trace trace(4);
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  Rng rng(2);
+  Placement placement = make_placement(PlacementKind::Contiguous, topo.params(), 8, rng);
+  EXPECT_THROW(ReplayEngine(engine, network, trace, placement), std::invalid_argument);
+}
+
+TEST(Replay, ScaledTraceStillCompletes) {
+  Trace trace = make_ring_trace(8, 100 * units::kKB, 2);
+  trace.scale_message_sizes(0.01);
+  Harness h(trace);
+  h.run();
+  EXPECT_TRUE(h.replay.finished());
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,89 @@
+// Unit tests for the Route container and the AdaptiveGlobal scorer.
+#include <gtest/gtest.h>
+
+#include "routing/adaptive_global.hpp"
+#include "routing/minimal.hpp"
+#include "routing/route.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(Route, StartsEmpty) {
+  Route r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+}
+
+TEST(Route, PushAssignsEscalatingVcs) {
+  Route r;
+  r.push(10, 5);
+  r.push(11, 6);
+  r.push(12, 0);
+  ASSERT_EQ(r.size(), 3);
+  EXPECT_EQ(r[0].router, 10);
+  EXPECT_EQ(r[0].port, 5);
+  EXPECT_EQ(r[0].vc, 0);
+  EXPECT_EQ(r[1].vc, 1);
+  EXPECT_EQ(r[2].vc, 2);
+  EXPECT_EQ(r.first().router, 10);
+  EXPECT_EQ(r.last().router, 12);
+  EXPECT_EQ(r.routers_traversed(), 3);
+}
+
+TEST(Route, HoldsMaxHops) {
+  Route r;
+  for (int i = 0; i < kMaxRouteHops; ++i) r.push(i, i);
+  EXPECT_EQ(r.size(), kMaxRouteHops);
+  EXPECT_EQ(r.last().vc, kMaxRouteHops - 1);
+}
+
+class HotEverywhere : public CongestionView {
+ public:
+  explicit HotEverywhere(Bytes per_channel) : per_channel_(per_channel) {}
+  Bytes queued_bytes(RouterId, int) const override { return per_channel_; }
+
+ private:
+  Bytes per_channel_;
+};
+
+TEST(AdaptiveGlobal, PrefersMinimalWhenUniformlyCongested) {
+  // With identical congestion everywhere, the bottleneck is equal on every
+  // candidate, so hop count decides: the route must be minimal.
+  const DragonflyTopology topo(TopoParams::theta());
+  AdaptiveGlobalRouting adpg(topo);
+  MinimalRouting minimal(topo);
+  const HotEverywhere hot(100 * units::kKiB);
+  Rng rng(5);
+  const Coordinates& c = topo.coords();
+  for (int i = 0; i < 100; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(topo.params().total_nodes()));
+    auto dst = static_cast<NodeId>(rng.uniform(topo.params().total_nodes() - 1));
+    if (dst >= src) ++dst;
+    const Route route = adpg.compute(src, dst, hot, rng);
+    const int min_hops =
+        minimal.table().min_hops(c.router_of_node(src), c.router_of_node(dst)) + 1;
+    EXPECT_EQ(route.size(), min_hops);
+  }
+}
+
+TEST(AdaptiveGlobal, RoutesAreValid) {
+  const DragonflyTopology topo(TopoParams::tiny());
+  AdaptiveGlobalRouting adpg(topo);
+  const HotEverywhere idle(0);
+  Rng rng(6);
+  const Coordinates& c = topo.coords();
+  for (int i = 0; i < 300; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(topo.params().total_nodes()));
+    auto dst = static_cast<NodeId>(rng.uniform(topo.params().total_nodes() - 1));
+    if (dst >= src) ++dst;
+    const Route route = adpg.compute(src, dst, idle, rng);
+    ASSERT_GT(route.size(), 0);
+    EXPECT_EQ(route.first().router, c.router_of_node(src));
+    EXPECT_EQ(route.last().router, c.router_of_node(dst));
+    for (int h = 0; h + 1 < route.size(); ++h)
+      EXPECT_EQ(topo.neighbor(route[h].router, route[h].port), route[h + 1].router);
+  }
+}
+
+}  // namespace
+}  // namespace dfly

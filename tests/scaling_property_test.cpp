@@ -1,0 +1,119 @@
+// Cross-cutting property tests: monotonicity and invariance of whole
+// experiments under the study's knobs (message scale, seeds, placement
+// granularity).
+#include <gtest/gtest.h>
+
+#include "core/run_matrix.hpp"
+#include "util/stats.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+Workload tiny_ring() { return Workload{"ring", make_ring_trace(32, 64 * units::kKiB, 1)}; }
+
+ExperimentOptions tiny_options(std::uint64_t seed = 3) {
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = seed;
+  options.max_events = 200'000'000;
+  return options;
+}
+
+class ScaleMonotonic : public ::testing::TestWithParam<ExperimentConfig> {};
+
+TEST_P(ScaleMonotonic, CommTimeGrowsWithMessageScale) {
+  double prev = 0;
+  for (const double scale : {0.25, 1.0, 4.0}) {
+    ExperimentOptions options = tiny_options();
+    options.msg_scale = scale;
+    const ExperimentResult r = run_experiment(tiny_ring(), GetParam(), options);
+    const double median = r.metrics.median_comm_ms();
+    EXPECT_GT(median, prev) << "scale " << scale;
+    prev = median;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, ScaleMonotonic, ::testing::ValuesIn(extreme_configs()),
+                         [](const auto& pinfo) {
+                           std::string name = pinfo.param.name();
+                           for (char& ch : name)
+                             if (ch == '-') ch = '_';
+                           return name;
+                         });
+
+TEST(ScalingProperty, HopsAreScaleInvariant) {
+  // Average hops depend on placement and routing choice, not message size —
+  // under minimal routing exactly (no congestion feedback into paths).
+  const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Minimal};
+  ExperimentOptions a = tiny_options(), b = tiny_options();
+  a.msg_scale = 0.25;
+  b.msg_scale = 4.0;
+  const ExperimentResult ra = run_experiment(tiny_ring(), config, a);
+  const ExperimentResult rb = run_experiment(tiny_ring(), config, b);
+  // Same placement (same seed), same routing randomness stream structure;
+  // medians agree to within the tie-break noise of intersection choices.
+  EXPECT_NEAR(percentile(ra.metrics.avg_hops, 50), percentile(rb.metrics.avg_hops, 50), 0.3);
+}
+
+TEST(ScalingProperty, PlacementGranularityOrdersHops) {
+  // cont <= cab <= chas <= rotr <= rand in median hops under minimal routing
+  // (coarser contiguity keeps more communication local). Allow equality.
+  ExperimentOptions options = tiny_options(17);
+  const Workload w = tiny_ring();
+  double prev = 0;
+  for (const PlacementKind placement :
+       {PlacementKind::Contiguous, PlacementKind::RandomChassis, PlacementKind::RandomNode}) {
+    const ExperimentResult r =
+        run_experiment(w, ExperimentConfig{placement, RoutingKind::Minimal}, options);
+    const double hops = percentile(r.metrics.avg_hops, 50);
+    EXPECT_GE(hops + 1e-9, prev) << to_string(placement);
+    prev = hops;
+  }
+}
+
+TEST(ScalingProperty, SaturationOnlyUnderLoad) {
+  // At 1% of the load there must be (almost) no link saturation; at 8x there
+  // must be more than at 1x.
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  auto total_saturation = [&](double scale) {
+    ExperimentOptions options = tiny_options();
+    options.msg_scale = scale;
+    const ExperimentResult r = run_experiment(tiny_ring(), config, options);
+    double total = 0;
+    for (const double s : r.metrics.local_saturation_ms) total += s;
+    for (const double s : r.metrics.global_saturation_ms) total += s;
+    return total;
+  };
+  const double low = total_saturation(0.01);
+  const double mid = total_saturation(1.0);
+  const double high = total_saturation(8.0);
+  EXPECT_LE(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(ScalingProperty, BiggerJobsTakeLonger) {
+  ExperimentOptions options = tiny_options();
+  const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Adaptive};
+  const Workload small{"ring", make_ring_trace(16, 64 * units::kKiB, 1)};
+  const Workload large{"ring", make_ring_trace(16, 64 * units::kKiB, 4)};
+  const double t_small = run_experiment(small, config, options).metrics.median_comm_ms();
+  const double t_large = run_experiment(large, config, options).metrics.median_comm_ms();
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(ScalingProperty, EventCountScalesWithVolume) {
+  const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Minimal};
+  ExperimentOptions a = tiny_options(), b = tiny_options();
+  a.msg_scale = 1.0;
+  b.msg_scale = 4.0;
+  const auto ra = run_experiment(tiny_ring(), config, a);
+  const auto rb = run_experiment(tiny_ring(), config, b);
+  // 4x the bytes => roughly 4x the chunks; events scale accordingly (within
+  // a factor accounting for fixed per-message overhead).
+  EXPECT_GT(rb.metrics.events, 2 * ra.metrics.events);
+  EXPECT_LT(rb.metrics.events, 8 * ra.metrics.events);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,131 @@
+// Unit tests for descriptive statistics (box plots, CDFs, streaming stats).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double(-10, 10);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 17.5);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v = {42};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 42);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 42);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 42);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50), 0.0);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);  // 1..101
+  const BoxStats b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.q1, 26);
+  EXPECT_DOUBLE_EQ(b.median, 51);
+  EXPECT_DOUBLE_EQ(b.q3, 76);
+  EXPECT_DOUBLE_EQ(b.max, 101);
+  EXPECT_EQ(b.count, 101u);
+}
+
+TEST(BoxStats, UnsortedInput) {
+  const std::vector<double> v = {5, 1, 4, 2, 3};
+  const BoxStats b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 3);
+  EXPECT_DOUBLE_EQ(b.max, 5);
+}
+
+TEST(Cdf, QuantileAndFractionAreInverses) {
+  std::vector<double> v;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.uniform_double(0, 100));
+  const Cdf cdf(v);
+  for (const double f : {0.1, 0.3, 0.5, 0.9}) {
+    const double q = cdf.quantile(f);
+    EXPECT_NEAR(cdf.fraction_at_or_below(q), f, 0.01);
+  }
+}
+
+TEST(Cdf, MonotoneQuantiles) {
+  const Cdf cdf({3, 1, 4, 1, 5, 9, 2, 6});
+  double prev = cdf.quantile(0);
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    const double q = cdf.quantile(f);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Cdf, FractionBelowMinAndAboveMax) {
+  const Cdf cdf({10, 20, 30});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(30), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100), 1.0);
+}
+
+TEST(FormatBox, RendersAllFiveNumbers) {
+  const BoxStats b{1.5, 2.5, 3.5, 4.5, 5.5, 5};
+  EXPECT_EQ(format_box(b, 1), "1.5 / 2.5 / 3.5 / 4.5 / 5.5");
+}
+
+}  // namespace
+}  // namespace dfly

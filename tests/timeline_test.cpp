@@ -1,0 +1,89 @@
+// Tests for the timeline sampler.
+#include "metrics/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "replay/replay.hpp"
+#include "routing/minimal.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(Timeline, SamplesAtFixedIntervalAndStops) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 10 * units::kMicrosecond);
+
+  const Trace trace = make_ring_trace(16, 256 * units::kKiB, 2);
+  Rng rng(2);
+  const Placement placement = make_placement(PlacementKind::RandomNode, topo.params(), 16, rng);
+  ReplayEngine replay(engine, network, trace, placement);
+  replay.set_completion_callback([&](SimTime) { sampler.request_stop(); });
+  sampler.start();
+  replay.start();
+  engine.run();
+
+  ASSERT_GE(sampler.samples().size(), 2u);
+  for (std::size_t i = 1; i < sampler.samples().size(); ++i) {
+    EXPECT_EQ(sampler.samples()[i].time - sampler.samples()[i - 1].time,
+              10 * units::kMicrosecond);
+    EXPECT_GE(sampler.samples()[i].bytes_delivered, sampler.samples()[i - 1].bytes_delivered);
+    EXPECT_GE(sampler.samples()[i].chunks_forwarded, sampler.samples()[i - 1].chunks_forwarded);
+  }
+  // Final cumulative delivered matches the network counter at sample time.
+  EXPECT_LE(sampler.samples().back().bytes_delivered, network.bytes_delivered());
+}
+
+TEST(Timeline, ThroughputRatesAreFiniteAndBounded) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 5 * units::kMicrosecond);
+
+  for (NodeId n = 0; n + 1 < topo.params().total_nodes(); n += 2)
+    network.send(n, n + 1, units::kMiB);
+  sampler.start();
+  engine.run_until(200 * units::kMicrosecond);
+  sampler.request_stop();
+  engine.run();
+
+  const auto rates = sampler.throughput_gbps();
+  ASSERT_FALSE(rates.empty());
+  // Aggregate delivery rate cannot exceed total terminal bandwidth.
+  const double cap = topo.params().total_nodes() *
+                     NetworkParams::theta().bandwidth(PortKind::Terminal);
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, cap);
+  }
+}
+
+TEST(Timeline, TableHasOneRowPerSample) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 1000);
+  network.send(0, 5, 64 * units::kKiB);
+  sampler.start();
+  engine.run_until(5000);
+  sampler.request_stop();
+  engine.run();
+  const Table t = sampler.to_table("timeline");
+  EXPECT_EQ(t.rows(), sampler.samples().size());
+}
+
+TEST(Timeline, RejectsNonPositiveInterval) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  EXPECT_THROW(TimelineSampler(engine, network, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,214 @@
+// Unit and property tests for the dragonfly topology.
+#include "topo/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dfly {
+namespace {
+
+TEST(TopoParams, ThetaMatchesPaperSectionII) {
+  const TopoParams p = TopoParams::theta();
+  EXPECT_EQ(p.groups, 9);
+  EXPECT_EQ(p.rows, 6);
+  EXPECT_EQ(p.cols, 16);
+  EXPECT_EQ(p.routers_per_group(), 96);
+  EXPECT_EQ(p.total_routers(), 864);
+  EXPECT_EQ(p.nodes_per_router, 4);
+  EXPECT_EQ(p.total_nodes(), 3456);
+  // "each row of 16 routers forms a chassis, and 3 such chassis form a cabinet"
+  EXPECT_EQ(p.chassis_per_group(), 6);
+  EXPECT_EQ(p.cabinets_per_group(), 2);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(TopoParams, ValidationRejectsBadConfigs) {
+  TopoParams p = TopoParams::tiny();
+  p.groups = 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = TopoParams::tiny();
+  p.global_ports_per_router = 3;  // 24 ports % 2 peers == 0, still fine
+  EXPECT_NO_THROW(p.validate());
+  p.groups = 6;  // 24 % 5 != 0: uneven peer distribution must be rejected
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Coordinates, NodeRouterRoundTrip) {
+  const TopoParams p = TopoParams::theta();
+  const Coordinates c(p);
+  for (NodeId n : {0, 1, 4, 100, 3455}) {
+    const RouterId r = c.router_of_node(n);
+    const int slot = c.slot_of_node(n);
+    EXPECT_EQ(c.node_of(r, slot), n);
+  }
+}
+
+TEST(Coordinates, RouterCoordRoundTrip) {
+  const TopoParams p = TopoParams::theta();
+  const Coordinates c(p);
+  for (RouterId r = 0; r < p.total_routers(); r += 37) {
+    const RouterCoord rc = c.coord(r);
+    EXPECT_EQ(c.router_at(rc.group, rc.row, rc.col), r);
+    EXPECT_GE(rc.row, 0);
+    EXPECT_LT(rc.row, p.rows);
+    EXPECT_GE(rc.col, 0);
+    EXPECT_LT(rc.col, p.cols);
+  }
+}
+
+TEST(Coordinates, ChassisAndCabinetGrouping) {
+  const TopoParams p = TopoParams::theta();
+  const Coordinates c(p);
+  // Routers 0..15 are row 0 of group 0 = chassis 0; rows 0-2 = cabinet 0.
+  EXPECT_EQ(c.chassis_of_router(0), 0);
+  EXPECT_EQ(c.chassis_of_router(15), 0);
+  EXPECT_EQ(c.chassis_of_router(16), 1);
+  EXPECT_EQ(c.cabinet_of_router(0), 0);
+  EXPECT_EQ(c.cabinet_of_router(16 * 3 - 1), 0);
+  EXPECT_EQ(c.cabinet_of_router(16 * 3), 1);
+  // First router of group 1.
+  EXPECT_EQ(c.chassis_of_router(96), 6);
+  EXPECT_EQ(c.cabinet_of_router(96), 2);
+}
+
+class TopologyTest : public ::testing::TestWithParam<TopoParams> {};
+
+TEST_P(TopologyTest, PortLayoutIsContiguousAndComplete) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  EXPECT_EQ(topo.ports_per_router(),
+            p.nodes_per_router + (p.cols - 1) + (p.rows - 1) + p.global_ports_per_router);
+  int terminals = 0, rows = 0, cols = 0, globals = 0;
+  for (int port = 0; port < topo.ports_per_router(); ++port) {
+    switch (topo.port_kind(port)) {
+      case PortKind::Terminal: ++terminals; break;
+      case PortKind::LocalRow: ++rows; break;
+      case PortKind::LocalCol: ++cols; break;
+      case PortKind::Global: ++globals; break;
+    }
+  }
+  EXPECT_EQ(terminals, p.nodes_per_router);
+  EXPECT_EQ(rows, p.cols - 1);
+  EXPECT_EQ(cols, p.rows - 1);
+  EXPECT_EQ(globals, p.global_ports_per_router);
+}
+
+TEST_P(TopologyTest, LocalNeighborsAreSymmetric) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  for (RouterId r = 0; r < p.total_routers(); r += 7) {
+    for (int port = topo.first_row_port(); port < topo.first_global_port(); ++port) {
+      const RouterId peer = topo.neighbor(r, port);
+      const int back = topo.neighbor_port(r, port);
+      EXPECT_EQ(topo.neighbor(peer, back), r);
+      EXPECT_EQ(topo.neighbor_port(peer, back), port);
+      // Local neighbors share the group and exactly one of row/col.
+      const Coordinates& c = topo.coords();
+      EXPECT_EQ(c.group_of_router(peer), c.group_of_router(r));
+      EXPECT_NE(peer, r);
+    }
+  }
+}
+
+TEST_P(TopologyTest, GlobalNeighborsAreSymmetricAndCrossGroup) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  for (RouterId r = 0; r < p.total_routers(); ++r) {
+    for (int port = topo.first_global_port(); port < topo.ports_per_router(); ++port) {
+      const RouterId peer = topo.neighbor(r, port);
+      const int back = topo.neighbor_port(r, port);
+      ASSERT_GE(peer, 0);
+      EXPECT_NE(topo.coords().group_of_router(peer), topo.coords().group_of_router(r));
+      EXPECT_EQ(topo.neighbor(peer, back), r);
+      EXPECT_EQ(topo.neighbor_port(peer, back), port);
+    }
+  }
+}
+
+TEST_P(TopologyTest, GlobalLinksEvenlySpreadAcrossGroupPairs) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  const int expected = p.global_ports_per_group() / (p.groups - 1);
+  for (GroupId a = 0; a < p.groups; ++a) {
+    for (GroupId b = 0; b < p.groups; ++b) {
+      if (a == b) continue;
+      const auto links = topo.global_links(a, b);
+      EXPECT_EQ(static_cast<int>(links.size()), expected);
+      for (const GlobalLink& link : links) {
+        EXPECT_EQ(topo.coords().group_of_router(link.src_router), a);
+        EXPECT_EQ(topo.coords().group_of_router(link.dst_router), b);
+        EXPECT_EQ(topo.neighbor(link.src_router, link.src_port), link.dst_router);
+        EXPECT_EQ(topo.neighbor_port(link.src_router, link.src_port), link.dst_port);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyTest, EveryGlobalPortUsedExactlyOnce) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  std::set<std::pair<RouterId, int>> used;
+  for (GroupId a = 0; a < p.groups; ++a) {
+    for (GroupId b = 0; b < p.groups; ++b) {
+      if (a == b) continue;
+      for (const GlobalLink& link : topo.global_links(a, b)) {
+        EXPECT_TRUE(used.insert({link.src_router, link.src_port}).second)
+            << "port reused: router " << link.src_router << " port " << link.src_port;
+      }
+    }
+  }
+  EXPECT_EQ(used.size(),
+            static_cast<std::size_t>(p.total_routers()) * p.global_ports_per_router);
+}
+
+TEST_P(TopologyTest, LocalPortToFindsRowAndColumnPeers) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  const Coordinates& c = topo.coords();
+  for (RouterId r = 0; r < p.total_routers(); r += 11) {
+    const RouterCoord rc = c.coord(r);
+    for (int col = 0; col < p.cols; ++col) {
+      if (col == rc.col) continue;
+      const RouterId peer = c.router_at(rc.group, rc.row, col);
+      const int port = topo.local_port_to(r, peer);
+      ASSERT_GE(port, 0);
+      EXPECT_EQ(topo.neighbor(r, port), peer);
+    }
+    for (int row = 0; row < p.rows; ++row) {
+      if (row == rc.row) continue;
+      const RouterId peer = c.router_at(rc.group, row, rc.col);
+      const int port = topo.local_port_to(r, peer);
+      ASSERT_GE(port, 0);
+      EXPECT_EQ(topo.neighbor(r, port), peer);
+    }
+    // Diagonal peer in the same group: not one local hop.
+    const RouterId diag = c.router_at(rc.group, (rc.row + 1) % p.rows, (rc.col + 1) % p.cols);
+    if (diag != r && c.row_of_router(diag) != rc.row && c.col_of_router(diag) != rc.col)
+      EXPECT_EQ(topo.local_port_to(r, diag), -1);
+  }
+}
+
+TEST_P(TopologyTest, ChannelIdRoundTrip) {
+  const DragonflyTopology topo(GetParam());
+  const TopoParams& p = GetParam();
+  for (RouterId r = 0; r < p.total_routers(); r += 13) {
+    for (int port = 0; port < topo.ports_per_router(); ++port) {
+      const int ch = topo.channel_id(r, port);
+      EXPECT_LT(ch, topo.total_channels());
+      EXPECT_EQ(topo.channel_router(ch), r);
+      EXPECT_EQ(topo.channel_port(ch), port);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TopologyTest,
+                         ::testing::Values(TopoParams::tiny(), TopoParams::theta()),
+                         [](const auto& pinfo) {
+                           return pinfo.param.groups == 3 ? std::string("tiny")
+                                                          : std::string("theta");
+                         });
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,138 @@
+// Unit tests for the trace model and its binary/text I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+#include "workload/exchange.hpp"
+
+namespace dfly {
+namespace {
+
+Trace small_trace() {
+  Trace t(3);
+  TagAllocator tags;
+  emit_exchange(t, tags, 0, 1, 1000);
+  emit_exchange(t, tags, 1, 2, 2000);
+  emit_phase_end(t);
+  t.rank(0).push_back(TraceOp::barrier());
+  t.rank(1).push_back(TraceOp::barrier());
+  t.rank(2).push_back(TraceOp::barrier());
+  t.rank(0).push_back(TraceOp::pause(500));
+  return t;
+}
+
+TEST(Trace, TotalsCountSendsOnly) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.total_send_bytes(), 1000 + 1000 + 2000 + 2000);
+  EXPECT_EQ(t.total_ops(), 8u /*exchange*/ + 3u /*waitall*/ + 3u /*barrier*/ + 1u /*pause*/);
+}
+
+TEST(Trace, ValidatePassesOnBalancedTrace) {
+  EXPECT_NO_THROW(small_trace().validate());
+}
+
+TEST(Trace, ValidateCatchesUnmatchedSend) {
+  Trace t(2);
+  t.rank(0).push_back(TraceOp::isend(1, 100, 0));
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateCatchesSelfMessage) {
+  Trace t(2);
+  t.rank(0).push_back(TraceOp::isend(0, 100, 0));
+  t.rank(0).push_back(TraceOp::irecv(0, 100, 0));
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateCatchesPeerOutOfRange) {
+  Trace t(2);
+  t.rank(0).push_back(TraceOp::isend(5, 100, 0));
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ValidateCatchesSizeMismatch) {
+  Trace t(2);
+  t.rank(0).push_back(TraceOp::isend(1, 100, 0));
+  t.rank(1).push_back(TraceOp::irecv(0, 999, 0));
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Trace, ScaleMessageSizes) {
+  Trace t = small_trace();
+  t.scale_message_sizes(0.5);
+  EXPECT_EQ(t.total_send_bytes(), 3000);
+  EXPECT_NO_THROW(t.validate());  // scaling preserves matching
+  t.scale_message_sizes(1e-9);
+  EXPECT_EQ(t.total_send_bytes(), 4);  // clamped to >= 1 byte per message
+  EXPECT_THROW(t.scale_message_sizes(0.0), std::invalid_argument);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const Trace t = small_trace();
+  std::stringstream buf;
+  write_trace(t, buf);
+  const Trace back = read_trace(buf);
+  ASSERT_EQ(back.ranks(), t.ranks());
+  for (int r = 0; r < t.ranks(); ++r) {
+    ASSERT_EQ(back.rank(r).size(), t.rank(r).size());
+    for (std::size_t i = 0; i < t.rank(r).size(); ++i) {
+      EXPECT_EQ(back.rank(r)[i].kind, t.rank(r)[i].kind);
+      EXPECT_EQ(back.rank(r)[i].peer, t.rank(r)[i].peer);
+      EXPECT_EQ(back.rank(r)[i].tag, t.rank(r)[i].tag);
+      EXPECT_EQ(back.rank(r)[i].bytes, t.rank(r)[i].bytes);
+      EXPECT_EQ(back.rank(r)[i].delay, t.rank(r)[i].delay);
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = small_trace();
+  const std::string path = ::testing::TempDir() + "/dfly_trace_test.bin";
+  save_trace(t, path);
+  const Trace back = load_trace(path);
+  EXPECT_EQ(back.ranks(), t.ranks());
+  EXPECT_EQ(back.total_send_bytes(), t.total_send_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf("NOTATRACE");
+  EXPECT_THROW(read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  const Trace t = small_trace();
+  std::stringstream buf;
+  write_trace(t, buf);
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/file.bin"), std::runtime_error);
+}
+
+TEST(TraceIo, TextDumpMentionsOps) {
+  std::ostringstream os;
+  dump_trace_text(small_trace(), os, 4);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rank 0"), std::string::npos);
+  EXPECT_NE(out.find("isend"), std::string::npos);
+  EXPECT_NE(out.find("barrier"), std::string::npos);
+}
+
+TEST(TagAllocator, MonotonicPerDirectedPair) {
+  TagAllocator tags;
+  EXPECT_EQ(tags.next(1, 2), 0);
+  EXPECT_EQ(tags.next(1, 2), 1);
+  EXPECT_EQ(tags.next(2, 1), 0);  // independent direction
+  EXPECT_EQ(tags.next(1, 3), 0);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,107 @@
+// Unit tests for units, histogram/time-profile and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(Units, TransferTimeRoundsUpAndNeverZero) {
+  EXPECT_EQ(units::transfer_time(0, 5.0), 0);
+  EXPECT_EQ(units::transfer_time(1, 100.0), 1);    // sub-ns payload still costs 1 ns
+  EXPECT_EQ(units::transfer_time(10, 5.0), 2);     // exact division
+  EXPECT_EQ(units::transfer_time(11, 5.0), 3);     // rounds up
+}
+
+TEST(Units, BandwidthConversion) {
+  // 1 GiB/s = 2^30 bytes over 10^9 ns.
+  EXPECT_NEAR(units::gib_per_s(1.0), 1.0737, 1e-3);
+  EXPECT_NEAR(units::gib_per_s(16.0), 17.18, 0.01);
+}
+
+TEST(Units, ReportingConversions) {
+  EXPECT_DOUBLE_EQ(units::to_ms(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(units::to_mb(2'500'000), 2.5);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);
+  h.add(3.0);
+  h.add(9.9);
+  h.add(-5.0);  // clamps to first bin
+  h.add(50.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2);
+  EXPECT_DOUBLE_EQ(h.count(1), 1);
+  EXPECT_DOUBLE_EQ(h.count(4), 2);
+  EXPECT_DOUBLE_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0, 1, 1);
+  h.add(0.5, 2.5);
+  h.add(0.5, 1.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 4.0);
+}
+
+TEST(TimeProfile, BucketsBytesByTime) {
+  TimeProfile p(100);
+  p.add(0, 10);
+  p.add(99, 20);
+  p.add(100, 5);
+  p.add(250, 7);
+  EXPECT_EQ(p.buckets(), 3u);
+  EXPECT_EQ(p.bytes_in(0), 30);
+  EXPECT_EQ(p.bytes_in(1), 5);
+  EXPECT_EQ(p.bytes_in(2), 7);
+  EXPECT_EQ(p.peak(), 30);
+  EXPECT_EQ(p.total(), 42);
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t("Demo");
+  t.set_columns({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("### Demo"), std::string::npos);
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.set_columns({"x", "y"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "both,\"x\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Table, RowColumnCounts) {
+  Table t;
+  t.set_columns({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dfly
