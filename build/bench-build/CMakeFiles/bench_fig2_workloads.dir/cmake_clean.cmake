@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_workloads"
+  "../bench/bench_fig2_workloads.pdb"
+  "CMakeFiles/bench_fig2_workloads.dir/bench_fig2_workloads.cpp.o"
+  "CMakeFiles/bench_fig2_workloads.dir/bench_fig2_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_fb_network"
+  "../bench/bench_fig5_fb_network.pdb"
+  "CMakeFiles/bench_fig5_fb_network.dir/bench_fig5_fb_network.cpp.o"
+  "CMakeFiles/bench_fig5_fb_network.dir/bench_fig5_fb_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fb_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

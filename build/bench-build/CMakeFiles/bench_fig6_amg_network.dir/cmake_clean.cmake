@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_amg_network"
+  "../bench/bench_fig6_amg_network.pdb"
+  "CMakeFiles/bench_fig6_amg_network.dir/bench_fig6_amg_network.cpp.o"
+  "CMakeFiles/bench_fig6_amg_network.dir/bench_fig6_amg_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_amg_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

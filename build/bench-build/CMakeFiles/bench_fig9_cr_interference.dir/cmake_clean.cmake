@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_cr_interference"
+  "../bench/bench_fig9_cr_interference.pdb"
+  "CMakeFiles/bench_fig9_cr_interference.dir/bench_fig9_cr_interference.cpp.o"
+  "CMakeFiles/bench_fig9_cr_interference.dir/bench_fig9_cr_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cr_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_findings_check"
+  "../bench/bench_findings_check.pdb"
+  "CMakeFiles/bench_findings_check.dir/bench_findings_check.cpp.o"
+  "CMakeFiles/bench_findings_check.dir/bench_findings_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findings_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

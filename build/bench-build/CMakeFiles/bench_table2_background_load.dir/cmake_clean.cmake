@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_background_load"
+  "../bench/bench_table2_background_load.pdb"
+  "CMakeFiles/bench_table2_background_load.dir/bench_table2_background_load.cpp.o"
+  "CMakeFiles/bench_table2_background_load.dir/bench_table2_background_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_background_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

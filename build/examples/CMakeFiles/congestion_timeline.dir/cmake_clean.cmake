@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_timeline.dir/congestion_timeline.cpp.o"
+  "CMakeFiles/congestion_timeline.dir/congestion_timeline.cpp.o.d"
+  "congestion_timeline"
+  "congestion_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfly_sim.dir/dfly_sim.cpp.o"
+  "CMakeFiles/dfly_sim.dir/dfly_sim.cpp.o.d"
+  "dfly_sim"
+  "dfly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_study.dir/placement_study.cpp.o"
+  "CMakeFiles/placement_study.dir/placement_study.cpp.o.d"
+  "placement_study"
+  "placement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cpp" "src/CMakeFiles/dfly.dir/core/config_io.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/config_io.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/dfly.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/formatters.cpp" "src/CMakeFiles/dfly.dir/core/formatters.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/formatters.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/CMakeFiles/dfly.dir/core/interference.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/interference.cpp.o.d"
+  "/root/repo/src/core/run_matrix.cpp" "src/CMakeFiles/dfly.dir/core/run_matrix.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/run_matrix.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/CMakeFiles/dfly.dir/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/core/sensitivity.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/dfly.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/dfly.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/CMakeFiles/dfly.dir/metrics/timeline.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/metrics/timeline.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/dfly.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/dfly.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/net/router.cpp.o.d"
+  "/root/repo/src/place/mapping.cpp" "src/CMakeFiles/dfly.dir/place/mapping.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/place/mapping.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/CMakeFiles/dfly.dir/place/placement.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/place/placement.cpp.o.d"
+  "/root/repo/src/replay/replay.cpp" "src/CMakeFiles/dfly.dir/replay/replay.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/replay/replay.cpp.o.d"
+  "/root/repo/src/routing/adaptive.cpp" "src/CMakeFiles/dfly.dir/routing/adaptive.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/routing/adaptive.cpp.o.d"
+  "/root/repo/src/routing/adaptive_global.cpp" "src/CMakeFiles/dfly.dir/routing/adaptive_global.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/routing/adaptive_global.cpp.o.d"
+  "/root/repo/src/routing/minimal.cpp" "src/CMakeFiles/dfly.dir/routing/minimal.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/routing/minimal.cpp.o.d"
+  "/root/repo/src/routing/router_table.cpp" "src/CMakeFiles/dfly.dir/routing/router_table.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/routing/router_table.cpp.o.d"
+  "/root/repo/src/routing/valiant.cpp" "src/CMakeFiles/dfly.dir/routing/valiant.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/routing/valiant.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dfly.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/topo/coordinates.cpp" "src/CMakeFiles/dfly.dir/topo/coordinates.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/topo/coordinates.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/CMakeFiles/dfly.dir/topo/dragonfly.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/topo/dragonfly.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/dfly.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/dfly.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/dfly.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/dfly.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dfly.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/dfly.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/dfly.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/amg.cpp" "src/CMakeFiles/dfly.dir/workload/amg.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/amg.cpp.o.d"
+  "/root/repo/src/workload/background.cpp" "src/CMakeFiles/dfly.dir/workload/background.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/background.cpp.o.d"
+  "/root/repo/src/workload/characterize.cpp" "src/CMakeFiles/dfly.dir/workload/characterize.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/characterize.cpp.o.d"
+  "/root/repo/src/workload/collectives.cpp" "src/CMakeFiles/dfly.dir/workload/collectives.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/collectives.cpp.o.d"
+  "/root/repo/src/workload/crystal_router.cpp" "src/CMakeFiles/dfly.dir/workload/crystal_router.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/crystal_router.cpp.o.d"
+  "/root/repo/src/workload/fill_boundary.cpp" "src/CMakeFiles/dfly.dir/workload/fill_boundary.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/fill_boundary.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/dfly.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/dfly.dir/workload/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

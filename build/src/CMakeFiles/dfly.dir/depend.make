@@ -1,0 +1,2 @@
+# Empty dependencies file for dfly.
+# This may be replaced when dependencies are built.

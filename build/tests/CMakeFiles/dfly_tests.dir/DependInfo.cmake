@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arbitration_test.cpp" "tests/CMakeFiles/dfly_tests.dir/arbitration_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/arbitration_test.cpp.o.d"
+  "/root/repo/tests/background_test.cpp" "tests/CMakeFiles/dfly_tests.dir/background_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/background_test.cpp.o.d"
+  "/root/repo/tests/collectives_test.cpp" "tests/CMakeFiles/dfly_tests.dir/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/collectives_test.cpp.o.d"
+  "/root/repo/tests/config_io_test.cpp" "tests/CMakeFiles/dfly_tests.dir/config_io_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/config_io_test.cpp.o.d"
+  "/root/repo/tests/conservation_test.cpp" "tests/CMakeFiles/dfly_tests.dir/conservation_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/conservation_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/dfly_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/dfly_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dfly_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/log_test.cpp" "tests/CMakeFiles/dfly_tests.dir/log_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/log_test.cpp.o.d"
+  "/root/repo/tests/mapping_test.cpp" "tests/CMakeFiles/dfly_tests.dir/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/dfly_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/min_hops_bfs_test.cpp" "tests/CMakeFiles/dfly_tests.dir/min_hops_bfs_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/min_hops_bfs_test.cpp.o.d"
+  "/root/repo/tests/misc_edge_test.cpp" "tests/CMakeFiles/dfly_tests.dir/misc_edge_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/misc_edge_test.cpp.o.d"
+  "/root/repo/tests/network_edge_test.cpp" "tests/CMakeFiles/dfly_tests.dir/network_edge_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/network_edge_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/dfly_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/one_d_dragonfly_test.cpp" "tests/CMakeFiles/dfly_tests.dir/one_d_dragonfly_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/one_d_dragonfly_test.cpp.o.d"
+  "/root/repo/tests/placement_test.cpp" "tests/CMakeFiles/dfly_tests.dir/placement_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/rendezvous_test.cpp" "tests/CMakeFiles/dfly_tests.dir/rendezvous_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/rendezvous_test.cpp.o.d"
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/dfly_tests.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/replay_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/dfly_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/route_test.cpp" "tests/CMakeFiles/dfly_tests.dir/route_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/route_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/dfly_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/scaling_property_test.cpp" "tests/CMakeFiles/dfly_tests.dir/scaling_property_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/scaling_property_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/dfly_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/timeline_test.cpp" "tests/CMakeFiles/dfly_tests.dir/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/timeline_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/dfly_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/dfly_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/dfly_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/validation_test.cpp" "tests/CMakeFiles/dfly_tests.dir/validation_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/validation_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/dfly_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/dfly_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
