@@ -1,0 +1,70 @@
+// Example: run the placement x routing matrix on a degrading network — a
+// fraction of the global links fails mid-run — and report per-policy
+// resilience: how much each configuration slows down, how many bytes were
+// dropped and retransmitted, and whether the chunk-conservation audit held.
+//
+// Usage: fault_study [app_ranks] [fault_fraction] [fault_time_us]
+//   defaults: 256 ranks, 0.25, 50 us
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfly;
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 256;
+  const double fraction = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const SimTime fault_time = (argc > 3 ? std::atoll(argv[3]) : 50) * units::kMicrosecond;
+
+  // A global-heavy victim: permutation traffic forces inter-group transfers,
+  // so downed global links genuinely hurt.
+  Rng trace_rng(11);
+  Workload app{"permutation", make_permutation_trace(ranks, units::kMiB, trace_rng)};
+
+  ExperimentOptions options;  // Theta system
+  options.seed = 7;
+
+  const std::vector<ExperimentConfig> configs = {
+      {PlacementKind::Contiguous, RoutingKind::Minimal},
+      {PlacementKind::RandomCabinet, RoutingKind::Minimal},
+      {PlacementKind::Contiguous, RoutingKind::Adaptive},
+      {PlacementKind::RandomNode, RoutingKind::Adaptive},
+      {PlacementKind::RandomNode, RoutingKind::Valiant},
+  };
+
+  // Build the degradation once so every configuration faces the same faults.
+  const DragonflyTopology topo(options.topo);
+  Rng fault_rng(options.seed ^ 0xfau);
+  const FaultSchedule schedule =
+      random_global_fault_schedule(topo, fraction, fault_time, fault_rng);
+
+  std::printf("workload: %d-rank permutation | faults: %zu global links down at %lld us\n\n",
+              ranks, schedule.size(), static_cast<long long>(fault_time / units::kMicrosecond));
+  std::printf("%-16s %12s %12s %10s %12s %12s %6s %12s\n", "config", "healthy ms", "faulted ms",
+              "slowdown", "dropped B", "retx B", "fired", "conservation");
+
+  for (const ExperimentConfig& config : configs) {
+    ExperimentOptions healthy = options;
+    const ExperimentResult base = run_experiment(app, config, healthy, &topo);
+
+    ExperimentOptions faulted = options;
+    faulted.faults = schedule;
+    const ExperimentResult hit = run_experiment(app, config, faulted, &topo);
+
+    std::printf("%-16s %12.3f %12.3f %9.2fx %12lld %12lld %6d %12s\n", base.config.c_str(),
+                base.metrics.makespan_ms, hit.metrics.makespan_ms,
+                base.metrics.makespan_ms > 0 ? hit.metrics.makespan_ms / base.metrics.makespan_ms
+                                             : 0.0,
+                static_cast<long long>(hit.bytes_dropped),
+                static_cast<long long>(hit.bytes_retransmitted), hit.faults_fired,
+                hit.conservation_ok ? "ok" : "VIOLATED");
+  }
+
+  std::printf(
+      "\nReading: adaptive routing reroutes around the failures and degrades\n"
+      "gracefully; minimal routing on a contiguous placement depends on fewer\n"
+      "global links, so its outcome hinges on whether those specific links died.\n");
+  return 0;
+}

@@ -25,14 +25,17 @@ std::vector<ExperimentConfig> extreme_configs() {
 ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig& config,
                                 const ExperimentOptions& options,
                                 const DragonflyTopology* shared_topo) {
-  // Optionally reuse a caller-built topology (it is immutable and thread-safe
-  // to share across concurrent experiments).
+  // Optionally reuse a caller-built topology (without runtime faults it is
+  // immutable and thread-safe to share across concurrent experiments). A
+  // fault schedule mutates link state mid-run, so such experiments always
+  // work on their own copy and never touch the shared instance.
   std::optional<DragonflyTopology> local_topo;
   if (shared_topo == nullptr) {
     local_topo.emplace(options.topo);
-    shared_topo = &*local_topo;
+  } else if (!options.faults.empty()) {
+    local_topo.emplace(*shared_topo);
   }
-  const DragonflyTopology& topo = *shared_topo;
+  const DragonflyTopology& topo = local_topo ? *local_topo : *shared_topo;
 
   // The RNG tree: placement draws depend on (seed, placement kind) only, so a
   // given policy selects the same nodes under minimal and adaptive routing —
@@ -60,21 +63,47 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     background->start();
   }
 
+  std::optional<FaultInjector> injector;
+  if (!options.faults.empty()) {
+    injector.emplace(engine, *local_topo, network, routing.get(), options.faults);
+    injector->start();
+  }
+
+  HealthMonitor monitor(engine, network, options.health);
+  monitor.set_work_remaining([&replay] { return !replay.finished(); });
+  if (options.health.enabled) monitor.start();
+
   replay.start();
   engine.run();
   network.finalize(engine.now());
 
-  if (!replay.finished() && !engine.hit_event_limit())
-    throw std::runtime_error("experiment deadlocked: engine drained with " +
+  if (!replay.finished() && !engine.hit_event_limit() && !monitor.stalled()) {
+    // Hard deadlock (or a conservation failure stopped the engine): report
+    // the structured simulation state, not just the rank count.
+    HealthReport report = (monitor.deadlock_detected() || monitor.conservation_failed())
+                              ? monitor.report()
+                              : monitor.capture(engine.now());
+    if (!monitor.conservation_failed()) report.deadlock = true;
+    throw std::runtime_error("experiment deadlocked (" + config.name() + "): engine drained with " +
                              std::to_string(replay.finished_ranks()) + "/" +
-                             std::to_string(trace.ranks()) + " ranks finished (" + config.name() +
-                             ")");
+                             std::to_string(trace.ranks()) + " ranks finished\n" +
+                             report.to_string());
+  }
 
   ExperimentResult result;
   result.config = config.name();
   result.metrics = collect_metrics(network, replay, placement, engine);
   result.background_bytes = background ? background->bytes_issued() : 0;
   result.hit_event_limit = engine.hit_event_limit();
+  result.bytes_dropped = network.bytes_dropped();
+  result.bytes_retransmitted = network.bytes_retransmitted();
+  result.faults_fired = injector ? injector->fired() : 0;
+  result.stalled = monitor.stalled();
+  result.conservation_ok = network.conservation_ok();
+  if (monitor.stalled() || monitor.conservation_failed())
+    result.health_report = monitor.report().to_string();
+  else if (engine.hit_event_limit())
+    result.health_report = monitor.capture(engine.now()).to_string();
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "metrics/collector.hpp"
 #include "net/params.hpp"
 #include "replay/replay.hpp"
@@ -44,6 +46,11 @@ struct ExperimentOptions {
   ReplayOptions replay;    ///< eager/rendezvous protocol knobs
   std::optional<BackgroundSpec> background;
   std::uint64_t max_events = 0;  ///< 0 = unlimited; watchdog for tests
+  /// Timed link faults fired mid-run. Non-empty schedules make the
+  /// experiment copy the topology (runtime faults mutate link state), so a
+  /// shared topology is never touched.
+  FaultSchedule faults;
+  HealthOptions health;  ///< progress/conservation monitor settings
 };
 
 struct ExperimentResult {
@@ -51,6 +58,15 @@ struct ExperimentResult {
   RunMetrics metrics;
   Bytes background_bytes = 0;
   bool hit_event_limit = false;
+  // --- fault / health outcome ---
+  Bytes bytes_dropped = 0;        ///< dropped on failed links (then retransmitted)
+  Bytes bytes_retransmitted = 0;  ///< re-injected by NIC retransmit timers
+  int faults_fired = 0;           ///< fault events that changed link state
+  bool stalled = false;           ///< HealthMonitor stopped a no-progress run
+  bool conservation_ok = true;    ///< chunk-conservation audit at end of run
+  /// Structured diagnostic dump; non-empty when the run stalled, tripped the
+  /// event-limit watchdog, or failed the conservation audit.
+  std::string health_report;
 };
 
 /// Runs `workload` under `config`. If `shared_topo` is non-null it must match

@@ -1,0 +1,92 @@
+#include "fault/fault.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "net/network.hpp"
+
+namespace dfly {
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::GlobalDown: return "global-down";
+    case FaultEvent::Kind::GlobalUp: return "global-up";
+    case FaultEvent::Kind::LocalDown: return "local-down";
+    case FaultEvent::Kind::LocalUp: return "local-up";
+  }
+  return "?";
+}
+
+FaultSchedule random_global_fault_schedule(const DragonflyTopology& topo, double fraction,
+                                           SimTime at, Rng& rng) {
+  if (fraction < 0 || fraction >= 1)
+    throw std::invalid_argument("random_global_fault_schedule: fraction must be in [0, 1)");
+  FaultSchedule schedule;
+  const int groups = topo.params().groups;
+  for (GroupId a = 0; a < groups; ++a) {
+    for (GroupId b = a + 1; b < groups; ++b) {
+      const auto all = topo.all_global_links(a, b);
+      const int total = static_cast<int>(all.size());
+      const int target = static_cast<int>(fraction * total);
+      // Sample distinct indices, keeping at least one link alive.
+      std::vector<char> taken(static_cast<std::size_t>(total), 0);
+      for (int k = 0; k < target && k < total - 1; ++k) {
+        int idx = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(total)));
+        while (taken[idx] != 0) idx = (idx + 1) % total;
+        taken[idx] = 1;
+        schedule.push_back(FaultEvent::global_down(at, a, b, idx));
+      }
+    }
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(Engine& engine, DragonflyTopology& topo, Network& network,
+                             RoutingAlgorithm* routing, FaultSchedule schedule)
+    : engine_(engine), topo_(topo), network_(network), routing_(routing),
+      schedule_(std::move(schedule)) {}
+
+void FaultInjector::start() {
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    engine_.schedule(schedule_[i].time, this,
+                     EventPayload{0, 0, static_cast<std::uint64_t>(i), 0});
+  }
+}
+
+void FaultInjector::handle_event(SimTime now, const EventPayload& payload) {
+  apply(schedule_[payload.b], now);
+}
+
+void FaultInjector::apply(const FaultEvent& event, SimTime now) {
+  bool changed = false;
+  try {
+    if (event.is_global()) {
+      changed = topo_.set_global_link_state(event.a, event.b, event.index, !event.is_down());
+    } else {
+      changed = topo_.set_local_link_state(event.u, event.v, !event.is_down());
+    }
+  } catch (const std::invalid_argument&) {
+    // The connectivity guard refused the change (last link of a pair, or a
+    // group would lose its minimal local paths). Count and carry on — a fault
+    // schedule built against an already-degraded topology may legitimately
+    // collide with earlier faults.
+    ++skipped_;
+    return;
+  }
+  if (!changed) return;  // already in the requested state
+  ++fired_;
+  if (routing_ != nullptr) routing_->on_topology_changed();
+  if (event.is_global()) {
+    const GlobalLink link = topo_.all_global_links(event.a, event.b)[event.index];
+    network_.on_link_state_changed(link.src_router, link.src_port, !event.is_down(), now);
+    network_.on_link_state_changed(link.dst_router, link.dst_port, !event.is_down(), now);
+  } else {
+    const int port_uv = topo_.local_port_to(event.u, event.v);
+    const int port_vu = topo_.local_port_to(event.v, event.u);
+    assert(port_uv >= 0 && port_vu >= 0);
+    network_.on_link_state_changed(event.u, port_uv, !event.is_down(), now);
+    network_.on_link_state_changed(event.v, port_vu, !event.is_down(), now);
+  }
+}
+
+}  // namespace dfly

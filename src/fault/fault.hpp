@@ -1,0 +1,100 @@
+// Timed link-fault injection.
+//
+// A FaultSchedule is a list of link-down / link-up events with absolute
+// simulation times. The FaultInjector schedules them on the engine and, when
+// one fires, (1) mutates the topology's link state, (2) tells the routing
+// algorithm to refresh its tables so new chunks avoid (or reclaim) the link,
+// and (3) tells the network to drop whatever was committed to the dead
+// channel — those bytes come back through the NIC retransmit path
+// (net/network.hpp).
+//
+// Global links are identified by (group a, group b, index) where index points
+// into DragonflyTopology::all_global_links(a, b) — stable across
+// enable/disable, so a schedule can down and later restore the same physical
+// link. Local links are identified by their router endpoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/algorithm.hpp"
+#include "sim/engine.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+class Network;
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { GlobalDown, GlobalUp, LocalDown, LocalUp };
+
+  Kind kind = Kind::GlobalDown;
+  SimTime time = 0;
+  // Global-link identity: groups + index into all_global_links(a, b).
+  GroupId a = 0;
+  GroupId b = 0;
+  int index = 0;
+  // Local-link identity: neighboring router endpoints.
+  RouterId u = 0;
+  RouterId v = 0;
+
+  static FaultEvent global_down(SimTime time, GroupId a, GroupId b, int index) {
+    return FaultEvent{Kind::GlobalDown, time, a, b, index, 0, 0};
+  }
+  static FaultEvent global_up(SimTime time, GroupId a, GroupId b, int index) {
+    return FaultEvent{Kind::GlobalUp, time, a, b, index, 0, 0};
+  }
+  static FaultEvent local_down(SimTime time, RouterId u, RouterId v) {
+    return FaultEvent{Kind::LocalDown, time, 0, 0, 0, u, v};
+  }
+  static FaultEvent local_up(SimTime time, RouterId u, RouterId v) {
+    return FaultEvent{Kind::LocalUp, time, 0, 0, 0, u, v};
+  }
+
+  bool is_global() const { return kind == Kind::GlobalDown || kind == Kind::GlobalUp; }
+  bool is_down() const { return kind == Kind::GlobalDown || kind == Kind::LocalDown; }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+/// Builds a schedule that downs roughly `fraction` of every group pair's
+/// global links at time `at` (mirroring disable_random_global_links, but as
+/// runtime events). Never schedules a pair's last link.
+FaultSchedule random_global_fault_schedule(const DragonflyTopology& topo, double fraction,
+                                           SimTime at, Rng& rng);
+
+/// Drives a FaultSchedule through the event engine against a live topology /
+/// routing / network triple. `routing` may be null (e.g. a raw-network test
+/// with a fixed routing object the caller refreshes itself).
+class FaultInjector : public EventHandler {
+ public:
+  FaultInjector(Engine& engine, DragonflyTopology& topo, Network& network,
+                RoutingAlgorithm* routing, FaultSchedule schedule);
+
+  /// Schedules every fault event; call once before Engine::run().
+  void start();
+
+  void handle_event(SimTime now, const EventPayload& payload) override;
+
+  int fired() const { return fired_; }
+  /// Events refused by the topology's connectivity guard (downing the link
+  /// would have disconnected a group pair or a group's local minimal paths).
+  int skipped() const { return skipped_; }
+
+ private:
+  void apply(const FaultEvent& event, SimTime now);
+
+  Engine& engine_;
+  DragonflyTopology& topo_;
+  Network& network_;
+  RoutingAlgorithm* routing_;
+  FaultSchedule schedule_;
+  int fired_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace dfly

@@ -16,10 +16,18 @@ namespace dfly {
 using ChunkId = std::uint32_t;
 using MsgId = std::uint32_t;
 
+/// Sentinel "no chunk" value (OutPort::tx_chunk when the wire is idle).
+inline constexpr ChunkId kNoChunk = 0xFFFFFFFFu;
+
 struct Chunk {
   MsgId msg = 0;
   std::int32_t bytes = 0;
   std::int8_t hop_idx = 0;  ///< index of the route hop whose router holds the chunk
+  /// Set when the chunk was discarded mid-flight on a failed link. The chunk
+  /// stays allocated as a tombstone until its already-scheduled arrival event
+  /// fires (which releases it); releasing eagerly would let the pool recycle
+  /// the id while a stale event still references it.
+  bool dropped = false;
   Route route;
 };
 

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -20,6 +21,9 @@ void NetworkParams::validate() const {
     throw std::invalid_argument("every VC buffer must hold at least one chunk");
   if (terminal_bandwidth_gib <= 0 || local_bandwidth_gib <= 0 || global_bandwidth_gib <= 0)
     throw std::invalid_argument("bandwidths must be positive");
+  if (retransmit_timeout <= 0) throw std::invalid_argument("retransmit_timeout must be positive");
+  if (retransmit_max_backoff < 0 || retransmit_max_backoff > 32)
+    throw std::invalid_argument("retransmit_max_backoff must be in [0, 32]");
 }
 
 Network::Network(Engine& engine, const DragonflyTopology& topo, const NetworkParams& params,
@@ -76,6 +80,8 @@ void Network::try_inject(NodeId node, SimTime now) {
   nic.end_blocked(now);
   if (now < nic.busy_until) return;
   nic.credits -= size;
+  bytes_injected_ += size;
+  in_fabric_bytes_ += size;
 
   const ChunkId cid = chunks_.allocate();
   Chunk& chunk = chunks_[cid];
@@ -102,13 +108,19 @@ void Network::try_inject(NodeId node, SimTime now) {
   if (head.bytes_left == 0) {
     const MsgId mid = head.msg;
     nic.queue.pop_front();  // invalidates `head`
-    if (m.notify_injected) engine_.schedule(t_end, this, EventPayload{kMsgInjected, 0, mid, 0});
+    // A retransmitted tail must not re-notify the sink: the injected-side
+    // completion (e.g. an MPI send returning) already happened.
+    if (m.notify_injected && !m.injected_notified) {
+      m.injected_notified = true;
+      engine_.schedule(t_end, this, EventPayload{kMsgInjected, 0, mid, 0});
+    }
   }
 }
 
 void Network::try_send(RouterId rid, int port, SimTime now) {
   Router& router = routers_[rid];
   OutPort& op = router.port(port);
+  if (!topo_.port_enabled(rid, port)) return;  // link down: nothing moves
   if (op.queue.empty()) {
     op.end_blocked(now);
     return;
@@ -162,6 +174,8 @@ void Network::try_send(RouterId rid, int port, SimTime now) {
 
   const SimTime t_end = now + units::transfer_time(chunk.bytes, params_.bandwidth(op.kind));
   op.busy_until = t_end;
+  op.tx_chunk = cid;
+  op.tx_vc = hop.vc;
   op.traffic += chunk.bytes;
   ++chunks_forwarded_;
   engine_.schedule(t_end, this,
@@ -204,9 +218,21 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
     case kChunkArrive: {
       const ChunkId cid = payload.a;
       Chunk& chunk = chunks_[cid];
+      if (chunk.dropped) {  // tombstone: discarded mid-flight on a failed link
+        chunks_.release(cid);
+        break;
+      }
       const auto rid = static_cast<RouterId>(payload.b);
       const Hop& hop = chunk.route[chunk.hop_idx];
       assert(hop.router == rid);
+      if (!topo_.port_enabled(rid, hop.port)) {
+        // The next link of this chunk's source route died while it was in
+        // flight. Drop it here; the owning NIC retransmits the bytes later.
+        return_upstream_credit(chunk, now);
+        account_drop(chunk, now);
+        chunks_.release(cid);
+        break;
+      }
       OutPort& op = routers_[rid].port(hop.port);
       op.queue.push_back(cid);
       op.queued_bytes += chunk.bytes;
@@ -215,7 +241,14 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
     }
     case kPortFree: {
       const auto channel = static_cast<int>(payload.b);
-      try_send(topo_.channel_router(channel), topo_.channel_port(channel), now);
+      const RouterId rid = topo_.channel_router(channel);
+      const int port = topo_.channel_port(channel);
+      OutPort& op = routers_[rid].port(port);
+      // Only clear when the wire is actually free: a credit event at the same
+      // timestamp (earlier sequence) may already have started a new
+      // transmission on this port.
+      if (op.busy_until <= now) op.tx_chunk = kNoChunk;
+      try_send(rid, port, now);
       break;
     }
     case kCreditToRouter: {
@@ -238,10 +271,15 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
     case kDeliver: {
       const ChunkId cid = payload.a;
       Chunk& chunk = chunks_[cid];
+      if (chunk.dropped) {  // defensive: ejection links cannot fail today
+        chunks_.release(cid);
+        break;
+      }
       const MsgId mid = chunk.msg;
       MessageRecord& m = msgs_[mid];
       m.delivered += chunk.bytes;
       bytes_delivered_ += chunk.bytes;
+      in_fabric_bytes_ -= chunk.bytes;
       chunks_.release(cid);
       if (m.delivered == m.total) {
         if (m.notify_delivered && sink_) sink_->on_message_delivered(mid, m.user_data, now);
@@ -256,9 +294,110 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
       release_if_done(mid);
       break;
     }
+    case kRetransmit: {
+      const auto mid = static_cast<MsgId>(payload.b);
+      MessageRecord& m = msgs_[mid];
+      assert(m.active && m.drop_pending > 0);
+      const Bytes bytes = m.drop_pending;
+      m.drop_pending = 0;
+      m.retx_scheduled = false;
+      ++m.retx_attempts;
+      Nic& nic = nics_[m.src];
+      nic.retransmitted += bytes;
+      ++nic.retransmit_events;
+      bytes_retransmitted_ += bytes;
+      ++retransmit_events_;
+      nic.queue.push_back(PendingMsg{mid, bytes});
+      try_inject(m.src, now);
+      break;
+    }
     default:
       assert(false && "unknown event kind");
   }
+}
+
+SimTime Network::retransmit_delay(int attempts) const {
+  const int shift = std::min(attempts, params_.retransmit_max_backoff);
+  return params_.retransmit_timeout << shift;
+}
+
+void Network::schedule_retransmit(MsgId id, SimTime now) {
+  MessageRecord& m = msgs_[id];
+  if (m.retx_scheduled) return;
+  m.retx_scheduled = true;
+  engine_.schedule(now + retransmit_delay(m.retx_attempts), this,
+                   EventPayload{kRetransmit, 0, static_cast<std::uint64_t>(id), 0});
+}
+
+void Network::return_upstream_credit(const Chunk& chunk, SimTime now) {
+  if (chunk.hop_idx == 0) {
+    const NodeId src = msgs_[chunk.msg].src;
+    engine_.schedule(now + params_.terminal_latency, this,
+                     EventPayload{kCreditToNic, 0, static_cast<std::uint64_t>(src),
+                                  static_cast<std::uint64_t>(chunk.bytes)});
+  } else {
+    const Hop& up = chunk.route[chunk.hop_idx - 1];
+    const PortKind up_kind = topo_.port_kind(up.port);
+    engine_.schedule(now + params_.latency(up_kind), this,
+                     EventPayload{kCreditToRouter, static_cast<std::uint32_t>(up.vc),
+                                  static_cast<std::uint64_t>(topo_.channel_id(up.router, up.port)),
+                                  static_cast<std::uint64_t>(chunk.bytes)});
+  }
+}
+
+void Network::account_drop(const Chunk& chunk, SimTime now) {
+  MessageRecord& m = msgs_[chunk.msg];
+  const Bytes bytes = chunk.bytes;
+  m.injected -= bytes;
+  m.drop_pending += bytes;
+  bytes_dropped_ += bytes;
+  in_fabric_bytes_ -= bytes;
+  ++chunks_dropped_;
+  ++nics_[m.src].chunks_dropped;
+  schedule_retransmit(chunk.msg, now);
+}
+
+void Network::on_link_state_changed(RouterId rid, int port, bool up, SimTime now) {
+  OutPort& op = routers_[rid].port(port);
+  if (up) {
+    try_send(rid, port, now);
+    return;
+  }
+  assert(!op.is_terminal() && "terminal links cannot fail");
+  // Abort the transmission in progress, if any: un-reserve the downstream
+  // buffer space and leave the chunk as a tombstone for its arrival event.
+  if (op.tx_chunk != kNoChunk && now < op.busy_until) {
+    Chunk& chunk = chunks_[op.tx_chunk];
+    op.credits[op.tx_vc] += chunk.bytes;
+    chunk.dropped = true;
+    account_drop(chunk, now);
+    op.tx_chunk = kNoChunk;
+    op.busy_until = now;
+  }
+  // Purge everything queued for the dead port: free this router's input
+  // buffer back to the upstream senders and queue the bytes for retransmit.
+  for (const ChunkId cid : op.queue) {
+    Chunk& chunk = chunks_[cid];
+    return_upstream_credit(chunk, now);
+    account_drop(chunk, now);
+    chunks_.release(cid);
+  }
+  op.queue.clear();
+  op.queued_bytes = 0;
+  op.end_blocked(now);
+}
+
+std::vector<Bytes> Network::vc_occupancy() const {
+  std::vector<Bytes> occupancy(kMaxRouteHops, 0);
+  for (const Router& router : routers_) {
+    for (int p = 0; p < router.num_ports(); ++p) {
+      for (const ChunkId cid : router.port(p).queue) {
+        const Chunk& chunk = chunks_[cid];
+        occupancy[chunk.route[chunk.hop_idx].vc] += chunk.bytes;
+      }
+    }
+  }
+  return occupancy;
 }
 
 void Network::finalize(SimTime end) {

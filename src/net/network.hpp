@@ -54,6 +54,14 @@ class Network : public EventHandler, public CongestionView {
   // CongestionView — output-queue occupancy at `router`'s `port`.
   Bytes queued_bytes(RouterId router, int port) const override;
 
+  /// Reacts to a runtime link state change of the directed channel
+  /// (router, port). On link-down the chunk currently on the wire is
+  /// discarded, every chunk queued for the port is purged (input-buffer
+  /// credits return upstream), and the dropped bytes are handed to the owning
+  /// NICs' retransmit timers. On link-up the port resumes sending. Call once
+  /// per direction after mutating the topology (FaultInjector does this).
+  void on_link_state_changed(RouterId router, int port, bool up, SimTime now);
+
   /// Closes still-open saturation intervals at `end`; call once after run().
   void finalize(SimTime end);
 
@@ -73,6 +81,26 @@ class Network : public EventHandler, public CongestionView {
   Bytes bytes_delivered() const { return bytes_delivered_; }
   std::size_t messages_in_flight() const { return msgs_.in_flight(); }
 
+  // --- fault-recovery accounting ---
+  Bytes bytes_injected() const { return bytes_injected_; }
+  Bytes bytes_dropped() const { return bytes_dropped_; }
+  Bytes bytes_retransmitted() const { return bytes_retransmitted_; }
+  Bytes in_fabric_bytes() const { return in_fabric_bytes_; }
+  std::uint64_t chunks_dropped() const { return chunks_dropped_; }
+  std::uint64_t retransmit_events() const { return retransmit_events_; }
+  /// Chunk-conservation audit: every injected byte must be delivered,
+  /// dropped (awaiting retransmission), or still in the fabric.
+  bool conservation_ok() const {
+    return bytes_injected_ == bytes_delivered_ + bytes_dropped_ + in_fabric_bytes_;
+  }
+  /// Backoff delay before retransmit attempt number `attempts`.
+  SimTime retransmit_delay(int attempts) const;
+
+  const Chunk& chunk(ChunkId id) const { return chunks_[id]; }
+  const MessageRecord& message(MsgId id) const { return msgs_[id]; }
+  /// Bytes queued on router output ports, per VC (diagnostics).
+  std::vector<Bytes> vc_occupancy() const;
+
   const DragonflyTopology& topology() const { return topo_; }
   const NetworkParams& params() const { return params_; }
 
@@ -85,12 +113,20 @@ class Network : public EventHandler, public CongestionView {
     kNicFree = 5,       // b=node
     kDeliver = 6,       // a=chunk
     kMsgInjected = 7,   // b=msg
+    kRetransmit = 8,    // b=msg
   };
 
   void try_inject(NodeId node, SimTime now);
   void try_send(RouterId router, int port, SimTime now);
   void complete_message_part(MsgId id, SimTime now, bool injected_side);
   void release_if_done(MsgId id);
+  /// Returns the input-buffer space a dropped chunk occupies at its current
+  /// router to the upstream sender (same delay formula as a normal departure).
+  void return_upstream_credit(const Chunk& chunk, SimTime now);
+  /// Books a dropped chunk's bytes out of the fabric and arms the owning
+  /// NIC's retransmit timer.
+  void account_drop(const Chunk& chunk, SimTime now);
+  void schedule_retransmit(MsgId id, SimTime now);
 
   Engine& engine_;
   const DragonflyTopology& topo_;
@@ -107,6 +143,12 @@ class Network : public EventHandler, public CongestionView {
 
   std::uint64_t chunks_forwarded_ = 0;
   Bytes bytes_delivered_ = 0;
+  Bytes bytes_injected_ = 0;
+  Bytes bytes_dropped_ = 0;
+  Bytes bytes_retransmitted_ = 0;
+  Bytes in_fabric_bytes_ = 0;
+  std::uint64_t chunks_dropped_ = 0;
+  std::uint64_t retransmit_events_ = 0;
 };
 
 }  // namespace dfly

@@ -44,6 +44,11 @@ struct NetworkParams {
   Bytes local_vc_buffer = 8 * units::kKiB;
   Bytes global_vc_buffer = 16 * units::kKiB;
 
+  /// Base NIC retransmit timeout after a chunk is dropped on a failed link;
+  /// attempt k waits timeout << min(k, retransmit_max_backoff).
+  SimTime retransmit_timeout = 20 * units::kMicrosecond;
+  int retransmit_max_backoff = 6;
+
   static NetworkParams theta() { return NetworkParams{}; }
 
   /// Bandwidth of a channel of the given kind, in bytes per nanosecond.

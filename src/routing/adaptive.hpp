@@ -29,6 +29,7 @@ class AdaptiveRouting : public RoutingAlgorithm {
   Route compute(NodeId src, NodeId dst, const CongestionView& congestion,
                 Rng& rng) const override;
   std::string name() const override { return "adaptive"; }
+  void on_topology_changed() override { table_.refresh(); }
 
  private:
   double score(const Route& route, const CongestionView& congestion, bool minimal) const;

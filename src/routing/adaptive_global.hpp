@@ -20,6 +20,7 @@ class AdaptiveGlobalRouting : public RoutingAlgorithm {
   Route compute(NodeId src, NodeId dst, const CongestionView& congestion,
                 Rng& rng) const override;
   std::string name() const override { return "adaptive-global"; }
+  void on_topology_changed() override { table_.refresh(); }
 
  private:
   double score(const Route& route, const CongestionView& congestion, bool minimal) const;

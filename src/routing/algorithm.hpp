@@ -34,6 +34,10 @@ class RoutingAlgorithm {
   virtual Route compute(NodeId src, NodeId dst, const CongestionView& congestion,
                         Rng& rng) const = 0;
 
+  /// Notifies the algorithm that topology link state changed (links failed or
+  /// recovered mid-run); implementations rebuild whatever they precomputed.
+  virtual void on_topology_changed() {}
+
   virtual std::string name() const = 0;
 };
 

@@ -7,28 +7,68 @@ namespace dfly {
 
 MinimalPathTable::MinimalPathTable(const DragonflyTopology& topo) : topo_(topo) {
   const TopoParams& p = topo_.params();
-  const Coordinates& c = topo_.coords();
   table_.resize(static_cast<std::size_t>(p.total_routers()) * p.groups);
+  pair_seen_.resize(static_cast<std::size_t>(p.groups) * p.groups);
+  local_seen_.resize(static_cast<std::size_t>(p.groups));
   for (RouterId r = 0; r < p.total_routers(); ++r) {
-    const GroupId g = c.group_of_router(r);
+    const GroupId g = topo_.coords().group_of_router(r);
     for (GroupId peer = 0; peer < p.groups; ++peer) {
-      if (peer == g) continue;
-      Candidates& cand = table_[static_cast<std::size_t>(r) * p.groups + peer];
-      std::vector<GlobalLink> bucket0;
-      std::vector<GlobalLink> bucket1;
-      for (const GlobalLink& link : topo_.global_links(g, peer)) {
-        const int lh = local_hops(r, link.src_router);
-        if (lh == 0) bucket0.push_back(link);
-        else if (lh == 1) bucket1.push_back(link);
-      }
-      cand.near_links = std::move(bucket0);
-      cand.bucket1_begin = static_cast<int>(cand.near_links.size());
-      cand.near_links.insert(cand.near_links.end(), bucket1.begin(), bucket1.end());
-      if (cand.bucket1_begin > 0) cand.best_src_cost = 1;
-      else if (!cand.near_links.empty()) cand.best_src_cost = 2;
-      else cand.best_src_cost = 3;
+      if (peer != g) rebuild_entry(r, peer);
     }
   }
+  for (GroupId a = 0; a < p.groups; ++a) {
+    local_seen_[a] = topo_.local_version(a);
+    for (GroupId b = 0; b < p.groups; ++b)
+      pair_seen_[static_cast<std::size_t>(a) * p.groups + b] = topo_.pair_version(a, b);
+  }
+  epoch_seen_ = topo_.epoch();
+}
+
+void MinimalPathTable::rebuild_entry(RouterId r, GroupId peer) {
+  const GroupId g = topo_.coords().group_of_router(r);
+  assert(peer != g);
+  Candidates& cand = table_[static_cast<std::size_t>(r) * topo_.params().groups + peer];
+  std::vector<GlobalLink> bucket0;
+  std::vector<GlobalLink> bucket1;
+  for (const GlobalLink& link : topo_.global_links(g, peer)) {
+    const int lh = local_hops(r, link.src_router);
+    if (lh == 0) bucket0.push_back(link);
+    else if (lh == 1) bucket1.push_back(link);
+  }
+  cand.near_links = std::move(bucket0);
+  cand.bucket1_begin = static_cast<int>(cand.near_links.size());
+  cand.near_links.insert(cand.near_links.end(), bucket1.begin(), bucket1.end());
+  if (cand.bucket1_begin > 0) cand.best_src_cost = 1;
+  else if (!cand.near_links.empty()) cand.best_src_cost = 2;
+  else cand.best_src_cost = 3;
+}
+
+void MinimalPathTable::refresh() {
+  if (epoch_seen_ == topo_.epoch()) return;
+  const TopoParams& p = topo_.params();
+  const int rpg = p.routers_per_group();
+
+  // A local-link change inside group g reclassifies the source-side buckets
+  // of every entry owned by g's routers (toward every peer). A global-link
+  // change between a and b invalidates a's entries toward b and b's toward a.
+  std::vector<char> group_stale(static_cast<std::size_t>(p.groups), 0);
+  for (GroupId g = 0; g < p.groups; ++g) {
+    if (local_seen_[g] != topo_.local_version(g)) {
+      group_stale[g] = 1;
+      local_seen_[g] = topo_.local_version(g);
+    }
+  }
+  for (GroupId a = 0; a < p.groups; ++a) {
+    for (GroupId b = 0; b < p.groups; ++b) {
+      if (a == b) continue;
+      const std::size_t pv = static_cast<std::size_t>(a) * p.groups + b;
+      const bool pair_stale = pair_seen_[pv] != topo_.pair_version(a, b);
+      if (pair_stale) pair_seen_[pv] = topo_.pair_version(a, b);
+      if (!pair_stale && !group_stale[a]) continue;
+      for (int i = 0; i < rpg; ++i) rebuild_entry(a * rpg + i, b);
+    }
+  }
+  epoch_seen_ = topo_.epoch();
 }
 
 int MinimalPathTable::local_hops(RouterId a, RouterId b) const {
@@ -37,7 +77,11 @@ int MinimalPathTable::local_hops(RouterId a, RouterId b) const {
   const RouterCoord ca = c.coord(a);
   const RouterCoord cb = c.coord(b);
   assert(ca.group == cb.group);
-  return (ca.row == cb.row || ca.col == cb.col) ? 1 : 2;
+  if (ca.row != cb.row && ca.col != cb.col) return 2;
+  if (topo_.disabled_local_links() == 0) return 1;
+  // Same row or column but the direct link may be down; the topology's
+  // connectivity guard guarantees a 2-hop alternative exists.
+  return topo_.port_enabled(a, topo_.local_port_to(a, b)) ? 1 : 2;
 }
 
 const MinimalPathTable::Candidates& MinimalPathTable::candidates(RouterId router,
@@ -47,18 +91,55 @@ const MinimalPathTable::Candidates& MinimalPathTable::candidates(RouterId router
 
 void MinimalPathTable::append_local(Route& route, RouterId from, RouterId to, Rng& rng) const {
   if (from == to) return;
+  const Coordinates& c = topo_.coords();
+  if (topo_.disabled_local_links() == 0) {
+    // Healthy fast path; keep the RNG draw sequence identical to the
+    // pre-fault-API behaviour so seeded runs stay bit-reproducible.
+    const int direct = topo_.local_port_to(from, to);
+    if (direct >= 0) {
+      route.push(from, direct);
+      return;
+    }
+    // Two intersection candidates: (from.row, to.col) and (to.row, from.col).
+    const RouterCoord a = c.coord(from);
+    const RouterCoord b = c.coord(to);
+    const RouterId via_row = c.router_at(a.group, a.row, b.col);
+    const RouterId via_col = c.router_at(a.group, b.row, a.col);
+    const RouterId mid = rng.bernoulli(0.5) ? via_row : via_col;
+    route.push(from, topo_.local_port_to(from, mid));
+    route.push(mid, topo_.local_port_to(mid, to));
+    return;
+  }
+
   const int direct = topo_.local_port_to(from, to);
-  if (direct >= 0) {
+  if (direct >= 0 && topo_.port_enabled(from, direct)) {
     route.push(from, direct);
     return;
   }
-  // Two intersection candidates: (from.row, to.col) and (to.row, from.col).
-  const Coordinates& c = topo_.coords();
+  // Direct link missing or down: collect the 2-hop mids whose both legs are
+  // up and pick one uniformly. The connectivity guard keeps this non-empty.
+  auto hop_ok = [&](RouterId x, RouterId y) {
+    const int port = topo_.local_port_to(x, y);
+    return port >= 0 && topo_.port_enabled(x, port);
+  };
   const RouterCoord a = c.coord(from);
   const RouterCoord b = c.coord(to);
-  const RouterId via_row = c.router_at(a.group, a.row, b.col);
-  const RouterId via_col = c.router_at(a.group, b.row, a.col);
-  const RouterId mid = rng.bernoulli(0.5) ? via_row : via_col;
+  std::vector<RouterId> mids;
+  auto consider_mid = [&](RouterId m) {
+    if (hop_ok(from, m) && hop_ok(m, to)) mids.push_back(m);
+  };
+  if (a.row == b.row) {
+    for (int col = 0; col < topo_.params().cols; ++col)
+      if (col != a.col && col != b.col) consider_mid(c.router_at(a.group, a.row, col));
+  } else if (a.col == b.col) {
+    for (int row = 0; row < topo_.params().rows; ++row)
+      if (row != a.row && row != b.row) consider_mid(c.router_at(a.group, row, a.col));
+  } else {
+    consider_mid(c.router_at(a.group, a.row, b.col));
+    consider_mid(c.router_at(a.group, b.row, a.col));
+  }
+  assert(!mids.empty() && "connectivity guard violated");
+  const RouterId mid = mids[rng.uniform(mids.size())];
   route.push(from, topo_.local_port_to(from, mid));
   route.push(mid, topo_.local_port_to(mid, to));
 }

@@ -7,8 +7,13 @@
 // bucketed by source-side local hop count (0: on this router, 1: in its row
 // or column). Links needing two source-side hops are resolved by scanning the
 // full pair list, which only happens when buckets 0 and 1 are both worse.
+//
+// The table is a snapshot of the topology's enabled-link state. When links
+// fail or recover at runtime, refresh() rebuilds just the entries whose
+// inputs changed, driven by the topology's pair/local version counters.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "routing/route.hpp"
@@ -29,6 +34,10 @@ class MinimalPathTable {
   /// Router-router hop count of a minimal path (0 when from == to).
   int min_hops(RouterId from, RouterId to) const;
 
+  /// Rebuilds the entries invalidated by topology link-state changes since
+  /// construction or the previous refresh. O(1) when nothing changed.
+  void refresh();
+
   const DragonflyTopology& topology() const { return topo_; }
 
  private:
@@ -45,11 +54,17 @@ class MinimalPathTable {
   };
 
   const Candidates& candidates(RouterId router, GroupId peer) const;
+  void rebuild_entry(RouterId router, GroupId peer);
   void append_local(Route& route, RouterId from, RouterId to, Rng& rng) const;
   int local_hops(RouterId a, RouterId b) const;
 
   const DragonflyTopology& topo_;
   std::vector<Candidates> table_;  ///< indexed router * groups + peer group
+
+  // Topology versions this table was built against (see refresh()).
+  std::uint64_t epoch_seen_ = 0;
+  std::vector<std::uint64_t> pair_seen_;   ///< groups x groups
+  std::vector<std::uint64_t> local_seen_;  ///< per group
 };
 
 }  // namespace dfly

@@ -11,6 +11,7 @@ void Engine::schedule(SimTime when, EventHandler* handler, EventPayload payload)
 }
 
 bool Engine::step() {
+  if (stop_requested_) return false;
   if (queue_.empty()) return false;
   if (event_limit_ != 0 && processed_ >= event_limit_) {
     hit_limit_ = true;

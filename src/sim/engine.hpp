@@ -67,6 +67,12 @@ class Engine {
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
   bool hit_event_limit() const { return hit_limit_; }
 
+  /// Makes run()/run_until() return before dispatching any further event.
+  /// Callable from inside an event handler (the HealthMonitor uses this to
+  /// halt a stalled simulation while its state is still inspectable).
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
  private:
   struct QueuedEvent {
     SimTime time;
@@ -87,6 +93,7 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::uint64_t event_limit_ = 0;
   bool hit_limit_ = false;
+  bool stop_requested_ = false;
 };
 
 }  // namespace dfly

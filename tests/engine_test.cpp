@@ -97,6 +97,25 @@ TEST(Engine, EventLimitActsAsWatchdog) {
   EXPECT_EQ(engine.events_processed(), 1000u);
 }
 
+TEST(Engine, RequestStopHaltsRunAndKeepsPendingEvents) {
+  Engine engine;
+  struct Stopper : EventHandler {
+    Engine* eng;
+    int seen = 0;
+    void handle_event(SimTime, const EventPayload&) override {
+      if (++seen == 3) eng->request_stop();
+      eng->schedule_after(1, this, EventPayload{});
+    }
+  } stopper;
+  stopper.eng = &engine;
+  engine.schedule(0, &stopper, EventPayload{});
+  engine.run();
+  EXPECT_TRUE(engine.stop_requested());
+  EXPECT_EQ(stopper.seen, 3);     // no event is processed after the stop request
+  EXPECT_EQ(engine.pending(), 1u);  // the queue is left intact for inspection
+  EXPECT_FALSE(engine.hit_event_limit());
+}
+
 TEST(Engine, ZeroDelaySelfScheduleRunsAtSameTime) {
   Engine engine;
   Recorder rec;

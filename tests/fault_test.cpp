@@ -1,7 +1,10 @@
 // Failure-injection tests: routing and full experiments on degraded
-// topologies (disabled global links).
+// topologies (disabled global links), plus the runtime fault path — timed
+// link-down/up events, local-link faults, and NIC retransmission.
 #include <gtest/gtest.h>
 
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "replay/replay.hpp"
 #include "routing/adaptive.hpp"
@@ -124,6 +127,290 @@ TEST(Faults, FractionValidation) {
   EXPECT_THROW(disable_random_global_links(topo, 1.0, rng), std::invalid_argument);
   EXPECT_THROW(disable_random_global_links(topo, -0.1, rng), std::invalid_argument);
   EXPECT_EQ(disable_random_global_links(topo, 0.0, rng), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault injection: link state changes while a simulation is running.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeFaults, SetGlobalLinkStateIsReversible) {
+  DragonflyTopology topo(TopoParams::tiny());
+  const auto all = topo.all_global_links(0, 1).size();
+  const auto enabled = topo.global_links(0, 1).size();
+  const std::uint64_t epoch0 = topo.epoch();
+
+  EXPECT_TRUE(topo.set_global_link_state(0, 1, 0, false));
+  EXPECT_EQ(topo.all_global_links(0, 1).size(), all);  // identity list is stable
+  EXPECT_EQ(topo.global_links(0, 1).size(), enabled - 1);
+  EXPECT_EQ(topo.disabled_global_links(), 1);
+  EXPECT_GT(topo.epoch(), epoch0);
+  EXPECT_FALSE(topo.set_global_link_state(0, 1, 0, false));  // no-op reported
+
+  const std::uint64_t pv = topo.pair_version(0, 1);
+  EXPECT_EQ(pv, topo.pair_version(1, 0));  // bumped symmetrically
+  EXPECT_TRUE(topo.set_global_link_state(0, 1, 0, true));
+  EXPECT_EQ(topo.global_links(0, 1).size(), enabled);
+  EXPECT_EQ(topo.disabled_global_links(), 0);
+  EXPECT_GT(topo.pair_version(0, 1), pv);
+}
+
+TEST(RuntimeFaults, SetGlobalLinkStateGuardsLastLink) {
+  DragonflyTopology topo(TopoParams::tiny());
+  const int links = static_cast<int>(topo.all_global_links(0, 1).size());
+  for (int i = 0; i < links - 1; ++i) topo.set_global_link_state(0, 1, i, false);
+  EXPECT_THROW(topo.set_global_link_state(0, 1, links - 1, false), std::invalid_argument);
+  EXPECT_THROW(topo.set_global_link_state(0, 1, links, false), std::invalid_argument);
+  EXPECT_EQ(topo.global_links(0, 1).size(), 1u);
+}
+
+TEST(RuntimeFaults, LocalLinkDisableIsSymmetricAndReversible) {
+  DragonflyTopology topo(TopoParams::tiny());
+  // Routers 0 and 1 share row 0 of group 0.
+  const int p01 = topo.local_port_to(0, 1);
+  const int p10 = topo.local_port_to(1, 0);
+  const std::uint64_t lv = topo.local_version(0);
+
+  topo.disable_local_link(0, 1);
+  EXPECT_EQ(topo.disabled_local_links(), 1);
+  EXPECT_FALSE(topo.port_enabled(0, p01));
+  EXPECT_FALSE(topo.port_enabled(1, p10));
+  EXPECT_GT(topo.local_version(0), lv);
+  topo.disable_local_link(0, 1);  // idempotent
+  EXPECT_EQ(topo.disabled_local_links(), 1);
+
+  EXPECT_TRUE(topo.set_local_link_state(0, 1, true));
+  EXPECT_EQ(topo.disabled_local_links(), 0);
+  EXPECT_TRUE(topo.port_enabled(0, p01));
+  EXPECT_TRUE(topo.port_enabled(1, p10));
+}
+
+TEST(RuntimeFaults, LocalLinkGuardKeepsTwoHopPaths) {
+  // tiny(): rows=2, cols=4, so row 0 of group 0 is routers {0,1,2,3}. With
+  // (0,2) and (0,3) down, router 0 reaches the rest of its row only through
+  // router 1; downing (0,1) would leave 0->2 without a <=2-local-hop path.
+  DragonflyTopology topo(TopoParams::tiny());
+  topo.disable_local_link(0, 2);
+  topo.disable_local_link(0, 3);
+  EXPECT_THROW(topo.disable_local_link(0, 1), std::invalid_argument);
+  // The refused mutation must not leave partial state behind.
+  EXPECT_TRUE(topo.port_enabled(0, topo.local_port_to(0, 1)));
+  EXPECT_TRUE(topo.port_enabled(1, topo.local_port_to(1, 0)));
+  EXPECT_EQ(topo.disabled_local_links(), 2);
+}
+
+TEST(RuntimeFaults, LocalLinkGuardProtectsTwoRouterColumns) {
+  // With rows=2 a column holds exactly two routers, so its link has no
+  // two-hop detour inside the column: downing any column link must be
+  // refused. Routers 0 and 4 share column 0 of group 0.
+  DragonflyTopology topo(TopoParams::tiny());
+  EXPECT_THROW(topo.disable_local_link(0, 4), std::invalid_argument);
+  EXPECT_EQ(topo.disabled_local_links(), 0);
+}
+
+TEST(RuntimeFaults, LocalLinkRejectsNonNeighbors) {
+  DragonflyTopology topo(TopoParams::tiny());
+  EXPECT_THROW(topo.set_local_link_state(0, 0, false), std::invalid_argument);
+  // Router 5 is row 1 / col 1: neither 0's row nor 0's column.
+  EXPECT_THROW(topo.set_local_link_state(0, 5, false), std::invalid_argument);
+  // Router 8 is in another group.
+  EXPECT_THROW(topo.set_local_link_state(0, 8, false), std::invalid_argument);
+}
+
+TEST(RuntimeFaults, RoutesAvoidDisabledLocalLinks) {
+  DragonflyTopology topo(TopoParams::tiny());
+  topo.disable_local_link(0, 2);   // row link, group 0 row 0
+  topo.disable_local_link(4, 7);   // row link, group 0 row 1
+  topo.disable_local_link(9, 11);  // row link, group 1
+  EXPECT_EQ(topo.disabled_local_links(), 3);
+
+  AdaptiveRouting routing(topo);
+  struct Idle : CongestionView {
+    Bytes queued_bytes(RouterId, int) const override { return 0; }
+  } idle;
+  Rng rng(14);
+  const int nodes = topo.params().total_nodes();
+  for (int i = 0; i < 1000; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(nodes));
+    auto dst = static_cast<NodeId>(rng.uniform(nodes - 1));
+    if (dst >= src) ++dst;
+    const Route route = routing.compute(src, dst, idle, rng);
+    for (int h = 0; h < route.size(); ++h)
+      EXPECT_TRUE(topo.port_enabled(route[h].router, route[h].port))
+          << "route uses a failed local link";
+  }
+}
+
+TEST(RuntimeFaults, RoutingRefreshPicksUpRuntimeChanges) {
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);  // built while everything is healthy
+  const int links = static_cast<int>(topo.all_global_links(0, 1).size());
+  for (int i = 0; i < links - 1; ++i) topo.set_global_link_state(0, 1, i, false);
+  routing.on_topology_changed();
+
+  struct Idle : CongestionView {
+    Bytes queued_bytes(RouterId, int) const override { return 0; }
+  } idle;
+  Rng rng(15);
+  const int per_group = topo.params().routers_per_group() * topo.params().nodes_per_router;
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(per_group));  // group 0
+    const auto dst = static_cast<NodeId>(per_group + rng.uniform(per_group));  // group 1
+    const Route route = routing.compute(src, dst, idle, rng);
+    for (int h = 0; h < route.size(); ++h)
+      EXPECT_TRUE(topo.port_enabled(route[h].router, route[h].port))
+          << "stale table entry survived refresh";
+  }
+}
+
+TEST(RuntimeFaults, RetransmitBackoffDoublesAndCaps) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  NetworkParams params = NetworkParams::theta();
+  params.retransmit_timeout = 1000;
+  params.retransmit_max_backoff = 4;
+  Network network(engine, topo, params, routing, Rng(1));
+  EXPECT_EQ(network.retransmit_delay(0), 1000);
+  EXPECT_EQ(network.retransmit_delay(1), 2000);
+  EXPECT_EQ(network.retransmit_delay(3), 8000);
+  EXPECT_EQ(network.retransmit_delay(4), 16000);
+  EXPECT_EQ(network.retransmit_delay(10), 16000);  // capped at max_backoff
+}
+
+TEST(RuntimeFaults, RetransmitParamsValidated) {
+  NetworkParams p = NetworkParams::theta();
+  p.retransmit_timeout = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = NetworkParams::theta();
+  p.retransmit_max_backoff = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(RuntimeFaults, InjectorSkipsGuardedEventsAndCountsFired) {
+  DragonflyTopology topo(TopoParams::tiny());
+  Engine engine;
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+
+  FaultSchedule schedule;
+  const int links = static_cast<int>(topo.all_global_links(0, 1).size());
+  for (int i = 0; i < links; ++i)  // the last down must be refused by the guard
+    schedule.push_back(FaultEvent::global_down(100, 0, 1, i));
+  schedule.push_back(FaultEvent::global_up(200, 0, 2, 0));  // already up: no change
+
+  FaultInjector injector(engine, topo, network, &routing, schedule);
+  injector.start();
+  engine.run();
+
+  EXPECT_EQ(injector.fired(), links - 1);
+  EXPECT_EQ(injector.skipped(), 1);
+  EXPECT_EQ(topo.global_links(0, 1).size(), 1u);
+  EXPECT_EQ(topo.global_links(0, 2).size(), topo.all_global_links(0, 2).size());
+}
+
+TEST(RuntimeFaults, RandomScheduleNeverTargetsLastLink) {
+  DragonflyTopology topo(TopoParams::tiny());
+  Rng rng(12);
+  const FaultSchedule schedule =
+      random_global_fault_schedule(topo, 0.6, 50 * units::kMicrosecond, rng);
+  EXPECT_GT(schedule.size(), 0u);
+  // Applying the whole schedule must not trip the connectivity guard.
+  DragonflyTopology scratch(topo.params());
+  for (const FaultEvent& f : schedule) {
+    ASSERT_TRUE(f.is_global());
+    ASSERT_TRUE(f.is_down());
+    EXPECT_EQ(f.time, 50 * units::kMicrosecond);
+    EXPECT_NO_THROW(scratch.set_global_link_state(f.a, f.b, f.index, false));
+  }
+}
+
+// Shared helper: run one (placement, routing) configuration healthy, then
+// with a runtime degradation injected a quarter of the way through, and check
+// the acceptance criterion — the run completes, every dropped byte was
+// retransmitted, and the conservation audit holds.
+void expect_recovery(RoutingKind routing_kind, double fraction, std::uint64_t seed) {
+  Rng trace_rng(21);
+  const Workload app{"perm", make_permutation_trace(24, 256 * units::kKiB, trace_rng)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = seed;
+  options.net.retransmit_timeout = 5 * units::kMicrosecond;  // quick recovery: short test run
+  options.health.interval = 20 * units::kMicrosecond;
+  const ExperimentConfig config{PlacementKind::RandomNode, routing_kind};
+
+  const ExperimentResult healthy = run_experiment(app, config, options);
+  ASSERT_GT(healthy.metrics.makespan_ms, 0.0);
+  EXPECT_EQ(healthy.bytes_dropped, 0);
+  EXPECT_EQ(healthy.bytes_retransmitted, 0);
+  EXPECT_TRUE(healthy.conservation_ok);
+
+  const DragonflyTopology topo(options.topo);
+  Rng fault_rng(17);
+  const auto at = static_cast<SimTime>(healthy.metrics.makespan_ms * units::kMillisecond / 4);
+  ExperimentOptions faulted = options;
+  faulted.faults = random_global_fault_schedule(topo, fraction, at, fault_rng);
+  ASSERT_FALSE(faulted.faults.empty());
+  const ExperimentResult result = run_experiment(app, config, faulted, &topo);
+
+  EXPECT_GT(result.faults_fired, 0);
+  EXPECT_FALSE(result.stalled);
+  EXPECT_FALSE(result.hit_event_limit);
+  EXPECT_TRUE(result.conservation_ok) << result.health_report;
+  EXPECT_GT(result.bytes_retransmitted, 0) << "no chunk was caught on a downed link";
+  EXPECT_EQ(result.bytes_dropped, result.bytes_retransmitted)
+      << "some dropped bytes were never retransmitted";
+  // The shared topology must not have been mutated by the faulted run.
+  EXPECT_EQ(topo.disabled_global_links(), 0);
+}
+
+TEST(RuntimeFaults, AdaptiveRecoversEveryDroppedByte) {
+  expect_recovery(RoutingKind::Adaptive, 0.6, 3);
+}
+
+TEST(RuntimeFaults, ValiantRecoversEveryDroppedByte) {
+  expect_recovery(RoutingKind::Valiant, 0.5, 4);
+}
+
+TEST(RuntimeFaults, DownThenUpStillConservesAndDelivers) {
+  Rng trace_rng(22);
+  const Workload app{"perm", make_permutation_trace(24, 128 * units::kKiB, trace_rng)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = 9;
+  options.net.retransmit_timeout = 5 * units::kMicrosecond;
+  const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Adaptive};
+
+  const SimTime at = 10 * units::kMicrosecond;
+  ExperimentOptions faulted = options;
+  faulted.faults = {FaultEvent::global_down(at, 0, 1, 0), FaultEvent::global_down(at, 0, 2, 1),
+                    FaultEvent::global_up(2 * at, 0, 1, 0), FaultEvent::global_up(2 * at, 0, 2, 1)};
+  const ExperimentResult result = run_experiment(app, config, faulted);
+
+  EXPECT_EQ(result.faults_fired, 4);
+  EXPECT_FALSE(result.stalled);
+  EXPECT_TRUE(result.conservation_ok) << result.health_report;
+  EXPECT_EQ(result.bytes_dropped, result.bytes_retransmitted);
+}
+
+TEST(RuntimeFaults, LocalFaultExperimentCompletes) {
+  Rng trace_rng(23);
+  const Workload app{"perm", make_permutation_trace(24, 128 * units::kKiB, trace_rng)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = 11;
+  options.net.retransmit_timeout = 5 * units::kMicrosecond;
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Adaptive};
+
+  ExperimentOptions faulted = options;
+  faulted.faults = {FaultEvent::local_down(5 * units::kMicrosecond, 0, 1),
+                    FaultEvent::local_down(5 * units::kMicrosecond, 2, 3),
+                    FaultEvent::local_down(8 * units::kMicrosecond, 4, 6)};
+  const ExperimentResult result = run_experiment(app, config, faulted);
+
+  EXPECT_EQ(result.faults_fired, 3);
+  EXPECT_FALSE(result.stalled);
+  EXPECT_TRUE(result.conservation_ok) << result.health_report;
+  EXPECT_EQ(result.bytes_dropped, result.bytes_retransmitted);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Tests for the simulation health monitor: conservation-audit arithmetic,
+// stall detection, the structured deadlock diagnostic that replaces the old
+// bare "experiment deadlocked" exception, and watchdog reports.
+#include "fault/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "routing/minimal.hpp"
+#include "trace/trace.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(Health, ConservationArithmetic) {
+  EXPECT_TRUE(conservation_holds(0, 0, 0, 0));
+  EXPECT_TRUE(conservation_holds(100, 60, 30, 10));
+  EXPECT_FALSE(conservation_holds(100, 60, 30, 11));
+  EXPECT_FALSE(conservation_holds(100, 100, 0, -1));
+}
+
+TEST(Health, OptionsValidated) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  HealthOptions bad;
+  bad.interval = 0;
+  EXPECT_THROW(HealthMonitor(engine, network, bad), std::invalid_argument);
+  bad = HealthOptions{};
+  bad.stall_ticks = 0;
+  EXPECT_THROW(HealthMonitor(engine, network, bad), std::invalid_argument);
+}
+
+TEST(Health, StallDetectionStopsTheEngine) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+
+  // Keeps the event queue alive forever without moving any bytes — the shape
+  // of a livelock the monitor must catch (a hard deadlock drains the queue).
+  struct Spinner : EventHandler {
+    Engine* eng;
+    void handle_event(SimTime, const EventPayload&) override {
+      eng->schedule_after(100, this, EventPayload{});
+    }
+  } spinner;
+  spinner.eng = &engine;
+  engine.schedule(0, &spinner, EventPayload{});
+
+  HealthOptions options;
+  options.interval = 1000;
+  options.stall_ticks = 3;
+  HealthMonitor monitor(engine, network, options);
+  monitor.set_work_remaining([] { return true; });
+  monitor.start();
+  engine.run();
+
+  EXPECT_TRUE(monitor.stalled());
+  EXPECT_TRUE(engine.stop_requested());
+  EXPECT_LE(engine.now(), 10'000) << "monitor let the spinner run far past the stall window";
+  EXPECT_TRUE(monitor.report().stalled);
+  EXPECT_NE(monitor.report().to_string().find("STALLED"), std::string::npos);
+}
+
+TEST(Health, MonitorDoesNotKeepFinishedSimulationAlive) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+
+  HealthOptions options;
+  options.interval = 1000;
+  HealthMonitor monitor(engine, network, options);  // default work_remaining: in-flight msgs
+  monitor.start();
+  engine.run();
+
+  // One tick fires, sees no work, and stops rescheduling; the engine drains.
+  EXPECT_EQ(monitor.ticks(), 1u);
+  EXPECT_EQ(engine.now(), 1000);
+  EXPECT_FALSE(monitor.stalled());
+  EXPECT_FALSE(monitor.deadlock_detected());
+}
+
+TEST(Health, CaptureReportsFabricState) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  network.send(0, 40, 64 * units::kKiB);  // cross-group, still queued at t=0
+
+  HealthMonitor monitor(engine, network);
+  const HealthReport report = monitor.capture(0);
+  EXPECT_EQ(report.messages_in_flight, 1u);
+  EXPECT_TRUE(report.conservation_ok);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("simulation health report"), std::string::npos);
+  EXPECT_NE(text.find("messages in flight: 1"), std::string::npos);
+}
+
+TEST(Health, DeadlockThrowsStructuredReport) {
+  // Rank 0 waits for a message rank 1 never sends: the event queue drains
+  // with work remaining — a hard deadlock. The exception must carry the
+  // monitor's diagnostic dump, not just a rank count.
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::recv(1, 4096, 7));
+  const Workload app{"unmatched-recv", trace};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.health.interval = 10 * units::kMicrosecond;
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+
+  try {
+    run_experiment(app, config, options);
+    FAIL() << "expected a deadlock exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlocked"), std::string::npos) << what;
+    EXPECT_NE(what.find("1/2 ranks finished"), std::string::npos) << what;
+    EXPECT_NE(what.find("simulation health report"), std::string::npos) << what;
+    EXPECT_NE(what.find("DEADLOCK"), std::string::npos) << what;
+  }
+}
+
+TEST(Health, DeadlockReportedEvenWithMonitorDisabled) {
+  Trace trace(2);
+  trace.rank(0).push_back(TraceOp::recv(1, 4096, 7));
+  const Workload app{"unmatched-recv", trace};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.health.enabled = false;  // no periodic ticks; capture happens post-mortem
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+
+  try {
+    run_experiment(app, config, options);
+    FAIL() << "expected a deadlock exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simulation health report"), std::string::npos) << what;
+    EXPECT_NE(what.find("DEADLOCK"), std::string::npos) << what;
+  }
+}
+
+TEST(Health, EventLimitWatchdogAttachesReport) {
+  Rng rng(5);
+  const Workload app{"perm", make_permutation_trace(16, 64 * units::kKiB, rng)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.max_events = 500;  // far too few to finish
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+
+  const ExperimentResult result = run_experiment(app, config, options);
+  EXPECT_TRUE(result.hit_event_limit);
+  ASSERT_FALSE(result.health_report.empty());
+  EXPECT_NE(result.health_report.find("simulation health report"), std::string::npos);
+}
+
+TEST(Health, CleanRunLeavesNoReport) {
+  Rng rng(6);
+  const Workload app{"perm", make_permutation_trace(16, 16 * units::kKiB, rng)};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+
+  const ExperimentResult result = run_experiment(app, config, options);
+  EXPECT_TRUE(result.conservation_ok);
+  EXPECT_FALSE(result.stalled);
+  EXPECT_TRUE(result.health_report.empty());
+}
+
+}  // namespace
+}  // namespace dfly
