@@ -1,7 +1,23 @@
 // Microbenchmarks (google-benchmark) for the simulator's hot paths: event
 // scheduling/dispatch, route computation, topology construction, placement
 // generation, and end-to-end network throughput in events per second.
+//
+// In addition to the google-benchmark suite, main() runs a head-to-head
+// scheduler harness — binary heap vs. calendar queue, on a monotonic and a
+// backoff-heavy event mix — and records the result into BENCH_engine.json so
+// the scheduler's perf trajectory is tracked PR over PR.
+//
+//   bench_micro_engine                # head-to-head + full gbench suite
+//   bench_micro_engine --smoke        # quick head-to-head only; exits 1 if
+//                                     # the calendar queue regresses vs. heap
+//   bench_micro_engine --out=FILE     # where to write the JSON (default
+//                                     # BENCH_engine.json in the cwd)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "net/network.hpp"
 #include "place/placement.hpp"
@@ -9,6 +25,7 @@
 #include "routing/minimal.hpp"
 #include "routing/valiant.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
 
 namespace dfly {
 namespace {
@@ -101,7 +118,154 @@ void BM_NetworkRandomTraffic(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRandomTraffic)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Head-to-head scheduler harness: heap vs. calendar queue.
+//
+// The hold model mirrors the simulator's steady state: the queue sits at a
+// fixed occupancy and every dispatched event schedules a successor.
+//  * monotonic mix — every successor lands a short uniform delay ahead, the
+//    distribution of chunk/credit/port events in a running network.
+//  * backoff-heavy mix — 10% of successors are retransmit backoff timers at
+//    20 us << k (k in [0,16)), seconds into the future; stresses the
+//    overflow tier.
+// ---------------------------------------------------------------------------
+
+struct MixSpec {
+  const char* name;
+  double far_fraction;  // probability a successor is a far-future backoff timer
+};
+
+constexpr MixSpec kMixes[] = {
+    {"monotonic", 0.0},
+    {"backoff_heavy", 0.1},
+};
+
+template <typename Queue>
+double measure_mix_meps(const MixSpec& mix, std::size_t hold, std::uint64_t events) {
+  Queue queue;
+  NullHandler handler;
+  Rng rng(42);
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < hold; ++i) {
+    const auto when = static_cast<SimTime>(1 + rng.uniform(2000));
+    queue.push(QueuedEvent{when, seq++, &handler, EventPayload{}});
+  }
+  SimTime checksum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t e = 0; e < events; ++e) {
+    const QueuedEvent ev = queue.pop_min();
+    now = ev.time;
+    checksum += now;
+    SimTime delay;
+    if (mix.far_fraction > 0.0 && rng.bernoulli(mix.far_fraction))
+      delay = SimTime{20} * units::kMicrosecond << static_cast<int>(rng.uniform(16));
+    else
+      delay = 1 + static_cast<SimTime>(rng.uniform(2000));
+    queue.push(QueuedEvent{now + delay, seq++, &handler, EventPayload{}});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(checksum);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(events) / secs / 1e6;
+}
+
+struct MixResult {
+  const char* name;
+  std::uint64_t events;
+  double heap_meps;
+  double calendar_meps;
+  double speedup;
+};
+
+MixResult run_head_to_head(const MixSpec& mix, std::size_t hold, std::uint64_t events,
+                           int repetitions) {
+  MixResult r{mix.name, events, 0.0, 0.0, 0.0};
+  for (int rep = 0; rep < repetitions; ++rep) {
+    r.heap_meps = std::max(r.heap_meps, measure_mix_meps<HeapEventQueue>(mix, hold, events));
+    r.calendar_meps =
+        std::max(r.calendar_meps, measure_mix_meps<CalendarEventQueue>(mix, hold, events));
+  }
+  r.speedup = r.calendar_meps / r.heap_meps;
+  return r;
+}
+
+int run_harness(bool smoke, const std::string& out_path) {
+  const std::size_t hold = smoke ? (1u << 14) : (1u << 16);
+  const std::uint64_t events = smoke ? 400'000 : 4'000'000;
+  const int repetitions = smoke ? 2 : 3;
+
+  MixResult results[std::size(kMixes)];
+  for (std::size_t i = 0; i < std::size(kMixes); ++i) {
+    results[i] = run_head_to_head(kMixes[i], hold, events, repetitions);
+    std::printf("[engine %-13s] heap %7.2f Mev/s | calendar %7.2f Mev/s | speedup %.2fx\n",
+                results[i].name, results[i].heap_meps, results[i].calendar_meps,
+                results[i].speedup);
+  }
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"benchmark\": \"bench_micro_engine\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n  \"hold\": %zu,\n  \"mixes\": [\n", smoke ? "true" : "false",
+                 hold);
+    for (std::size_t i = 0; i < std::size(kMixes); ++i) {
+      const MixResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"events\": %llu, \"heap_meps\": %.3f, "
+                   "\"calendar_meps\": %.3f, \"speedup\": %.3f}%s\n",
+                   r.name, static_cast<unsigned long long>(r.events), r.heap_meps, r.calendar_meps,
+                   r.speedup, i + 1 < std::size(kMixes) ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (smoke) {
+    // Loose gates (wall-clock noise, shared CI runners); the recorded JSON
+    // carries the precise numbers. A calendar queue slower than the heap it
+    // replaced is a regression worth failing the build for.
+    int rc = 0;
+    if (results[0].speedup < 1.3) {
+      std::fprintf(stderr, "FAIL: monotonic-mix speedup %.2fx < 1.3x\n", results[0].speedup);
+      rc = 1;
+    }
+    if (results[1].speedup < 0.7) {
+      std::fprintf(stderr, "FAIL: backoff-heavy-mix speedup %.2fx < 0.7x\n", results[1].speedup);
+      rc = 1;
+    }
+    return rc;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace dfly
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_engine.json";
+  int gargc = 0;
+  std::vector<char*> gargv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      gargv.push_back(argv[i]);
+      ++gargc;
+    }
+  }
+
+  const int rc = dfly::run_harness(smoke, out_path);
+  if (smoke || rc != 0) return rc;
+
+  benchmark::Initialize(&gargc, gargv.data());
+  if (benchmark::ReportUnrecognizedArguments(gargc, gargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
 namespace dfly {
 namespace {
@@ -47,8 +49,18 @@ using Setter = std::function<void(ExperimentOptions&, const std::string&, const 
 const std::map<std::string, Setter>& setters() {
   auto set_int = [](auto member) {
     return Setter([member](ExperimentOptions& o, const std::string& k, const std::string& v) {
-      std::invoke(member, o) = static_cast<std::remove_reference_t<decltype(std::invoke(member, o))>>(
-          parse_int(v, k));
+      using T = std::remove_reference_t<decltype(std::invoke(member, o))>;
+      const std::int64_t raw = parse_int(v, k);
+      // Refuse values the member's type cannot hold instead of wrapping
+      // silently on the narrowing cast.
+      bool fits;
+      if constexpr (std::is_same_v<T, bool>)
+        fits = raw == 0 || raw == 1;
+      else
+        fits = std::in_range<T>(raw);
+      if (!fits)
+        throw std::runtime_error("config: value out of range for " + k + ": '" + v + "'");
+      std::invoke(member, o) = static_cast<T>(raw);
     });
   };
   auto set_double = [](auto member) {

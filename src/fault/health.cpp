@@ -19,6 +19,10 @@ std::string HealthReport::to_string() const {
       << " in-fabric=" << in_fabric_bytes << "\n";
   out << "messages in flight: " << messages_in_flight << ", pending events: " << pending_events
       << ", events processed: " << events_processed << "\n";
+  out << "scheduler: buckets=" << scheduler.buckets << " width=" << scheduler.bucket_width
+      << "ns calendar=" << scheduler.calendar_events << " overflow=" << scheduler.overflow_events
+      << " resizes=" << scheduler.resizes << " promotions=" << scheduler.overflow_promotions
+      << " peak=" << scheduler.peak_pending << "\n";
   out << "blocked NICs: " << blocked_nics;
   if (!blocked_nic_ids.empty()) {
     out << " [";
@@ -66,6 +70,7 @@ HealthReport HealthMonitor::capture(SimTime now) const {
   r.messages_in_flight = network_.messages_in_flight();
   r.pending_events = engine_.pending();
   r.events_processed = engine_.events_processed();
+  r.scheduler = engine_.scheduler_stats();
 
   const DragonflyTopology& topo = network_.topology();
   const int nodes = topo.params().total_nodes();

@@ -55,6 +55,7 @@ struct HealthReport {
   std::vector<NodeId> blocked_nic_ids;  ///< capped sample of blocked NICs
   std::vector<PortDiag> stuck_ports;    ///< capped sample of starved ports
   std::vector<Bytes> vc_occupancy;      ///< queued bytes per VC, fabric-wide
+  SchedulerStats scheduler;             ///< calendar-queue occupancy/resizes
 
   std::string to_string() const;
 };

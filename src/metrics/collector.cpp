@@ -55,6 +55,7 @@ RunMetrics collect_metrics(const Network& network, const ReplayEngine& replay,
   m.events = engine.events_processed();
   m.chunks = network.chunks_forwarded();
   m.bytes_delivered = network.bytes_delivered();
+  m.scheduler = engine.scheduler_stats();
   return m;
 }
 

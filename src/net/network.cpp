@@ -317,8 +317,12 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
 }
 
 SimTime Network::retransmit_delay(int attempts) const {
-  const int shift = std::min(attempts, params_.retransmit_max_backoff);
-  return params_.retransmit_timeout << shift;
+  const int shift = std::clamp(attempts, 0, params_.retransmit_max_backoff);
+  const SimTime base = params_.retransmit_timeout;
+  // Saturate instead of shifting into UB: a shift of 63+ or any product that
+  // would exceed the cap returns the cap (kMaxRetransmitDelay).
+  if (shift >= 63 || base > (kMaxRetransmitDelay >> shift)) return kMaxRetransmitDelay;
+  return base << shift;
 }
 
 void Network::schedule_retransmit(MsgId id, SimTime now) {

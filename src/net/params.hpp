@@ -20,6 +20,10 @@ enum class Arbitration {
 
 const char* to_string(Arbitration policy);
 
+/// Ceiling on the exponential retransmit backoff: retransmit_delay saturates
+/// here instead of overflowing SimTime for large timeouts or shift counts.
+inline constexpr SimTime kMaxRetransmitDelay = 60 * units::kSecond;
+
 struct NetworkParams {
   /// Messages are split into chunks of at most this size (CODES default 2 KiB)
   /// and each chunk is store-and-forwarded per hop.

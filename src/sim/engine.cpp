@@ -17,8 +17,7 @@ bool Engine::step() {
     hit_limit_ = true;
     return false;
   }
-  const QueuedEvent ev = queue_.top();
-  queue_.pop();
+  const QueuedEvent ev = queue_.pop_min();
   now_ = ev.time;
   ++processed_;
   ev.handler->handle_event(now_, ev.payload);
@@ -32,10 +31,12 @@ SimTime Engine::run() {
 }
 
 SimTime Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!queue_.empty() && queue_.min().time <= deadline) {
     if (!step()) break;
   }
-  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  // Advance to the deadline only on a genuine drain: a run halted by
+  // request_stop() or the event-limit watchdog must not teleport forward.
+  if (queue_.empty() && !stop_requested_ && !hit_limit_ && now_ < deadline) now_ = deadline;
   return now_;
 }
 

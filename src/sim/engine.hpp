@@ -8,33 +8,22 @@
 //  * Ties in time are broken by a monotonically increasing sequence number so
 //    execution order (and therefore every simulation result) is fully
 //    deterministic for a given seed.
+//  * The pending-event set lives in a calendar queue (sim/event_queue.hpp):
+//    O(1) amortised scheduling for the near-monotonic event stream, with a
+//    heap-backed overflow tier for far-future timers. Dispatch order is
+//    strict (time, seq), identical to the binary heap it replaced, so the
+//    swap is invisible to results (see DESIGN.md §6).
 //  * The engine is single-threaded; the study parallelises at the level of
 //    independent experiment configurations (see core/run_matrix.hpp), which is
 //    exactly how the paper's configuration sweeps decompose.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <vector>
 
+#include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
 namespace dfly {
-
-/// Small fixed-size event payload interpreted by the receiving handler.
-struct EventPayload {
-  std::int32_t kind = 0;
-  std::uint32_t a = 0;
-  std::uint64_t b = 0;
-  std::uint64_t c = 0;
-};
-
-/// Implemented by any subsystem that receives events (network, replay, ...).
-class EventHandler {
- public:
-  virtual ~EventHandler() = default;
-  virtual void handle_event(SimTime now, const EventPayload& payload) = 0;
-};
 
 class Engine {
  public:
@@ -73,21 +62,14 @@ class Engine {
   void request_stop() { stop_requested_ = true; }
   bool stop_requested() const { return stop_requested_; }
 
- private:
-  struct QueuedEvent {
-    SimTime time;
-    std::uint64_t seq;
-    EventHandler* handler;
-    EventPayload payload;
-    bool operator>(const QueuedEvent& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
+  /// Occupancy and resize counters of the calendar scheduler (reported by
+  /// HealthMonitor and metrics/).
+  const SchedulerStats& scheduler_stats() const { return queue_.stats(); }
 
+ private:
   bool step();
 
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
+  CalendarEventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

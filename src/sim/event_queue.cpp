@@ -1,0 +1,245 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace dfly {
+
+namespace {
+constexpr std::size_t kMinBuckets = 16;
+// Starting width (2^10 ns) before the first occupancy-driven retune; any
+// value works for correctness, the first resize replaces it with a measured
+// one.
+constexpr int kInitialWidthShift = 10;
+// Width retune samples at most this many pending events.
+constexpr std::size_t kWidthSample = 64;
+// Dispatch-gap window: width retunes prefer the spacing of the last this many
+// dispatched events once available.
+constexpr std::size_t kGapWindow = 64;
+// A sorted serving bucket larger than this triggers a width retune: per-push
+// ordered inserts into a huge vector are one calendar-queue failure mode.
+constexpr std::size_t kServeBucketLimit = 128;
+// Scanning more than this many empty buckets in one locate triggers the
+// opposite retune: buckets much narrower than the dispatch gap make every
+// pop crawl the array.
+constexpr std::size_t kScanLimit = 64;
+// Pathology-triggered retunes only fire this many pops after the last resize
+// (so the dispatch-gap ring has refreshed) and only when the width is off by
+// at least kRetuneBand powers of two (hysteresis against estimator noise).
+constexpr std::uint64_t kRetuneCooldown = 4 * kGapWindow;
+constexpr int kRetuneBand = 2;
+
+// Smallest power-of-two shift s with (1 << s) >= w.
+int shift_for(SimTime w) {
+  if (w <= 1) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(w - 1));
+}
+}  // namespace
+
+CalendarEventQueue::CalendarEventQueue()
+    : buckets_(kMinBuckets), bucket_mask_(kMinBuckets - 1), width_shift_(kInitialWidthShift) {
+  pop_times_.resize(kGapWindow, 0);
+}
+
+void CalendarEventQueue::push(const QueuedEvent& ev) {
+  assert(ev.time >= 0 && "calendar queue requires non-negative times");
+  const std::uint64_t b = bucket_of(ev.time);
+  if (size_ == 0) {
+    cur_b_ = b;  // re-anchor the window on the first event
+  } else if (b < cur_b_) {
+    rewind(b);
+  }
+  if (b >= cur_b_ + buckets_.size()) {
+    overflow_.push(ev);
+    overflow_min_b_ = std::min(overflow_min_b_, b);
+  } else {
+    insert_calendar(ev);
+  }
+  ++size_;
+  if (size_ > stats_.peak_pending) stats_.peak_pending = size_;
+  if (size_ > 2 * buckets_.size()) resize(2 * buckets_.size());
+}
+
+const QueuedEvent& CalendarEventQueue::min() {
+  locate_min();
+  return slot(cur_b_).events.back();
+}
+
+QueuedEvent CalendarEventQueue::pop_min() {
+  locate_min();
+  Bucket& bk = slot(cur_b_);
+  QueuedEvent ev = bk.events.back();
+  bk.events.pop_back();
+  if (bk.events.empty()) bk.sorted = false;
+  --cal_size_;
+  --size_;
+  pop_times_[pop_times_next_] = ev.time;
+  if (++pop_times_next_ == kGapWindow) {
+    pop_times_next_ = 0;
+    pop_times_full_ = true;
+  }
+  ++pops_since_resize_;
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4)
+    resize(buckets_.size() / 2);
+  return ev;
+}
+
+void CalendarEventQueue::locate_min() {
+  assert(size_ > 0);
+  for (int attempt = 0;; ++attempt) {
+    if (cal_size_ == 0) {
+      // Everything pending is far-future: jump the window over the gap
+      // instead of sliding bucket by bucket.
+      cur_b_ = bucket_of(overflow_.top().time);
+      promote_overflow();
+    } else if (overflow_min_b_ < cur_b_ + buckets_.size()) {
+      promote_overflow();
+    }
+    std::size_t scanned = 0;
+    while (slot(cur_b_).events.empty()) {
+      ++cur_b_;
+      ++scanned;
+      if (overflow_min_b_ < cur_b_ + buckets_.size()) promote_overflow();
+    }
+    Bucket& bk = slot(cur_b_);
+    if (!bk.sorted) {
+      std::sort(bk.events.begin(), bk.events.end(), std::greater<>{});
+      bk.sorted = true;
+    }
+    // Both calendar-queue pathologies show up right here: a bloated serving
+    // bucket (width too wide for the serving-point density) or a long crawl
+    // over empty buckets (width too narrow for the dispatch gap). Either way
+    // the cure is retuning the width to the observed dispatch spacing. The
+    // cooldown and the dead band keep a noisy gap estimate from thrashing the
+    // width back and forth; one retry suffices because the rebuilt calendar
+    // reproduces the estimate.
+    if (attempt == 0 && pops_since_resize_ >= kRetuneCooldown &&
+        (bk.events.size() > kServeBucketLimit || scanned > kScanLimit)) {
+      const int shift = tuned_width_shift({});
+      if (shift >= width_shift_ + kRetuneBand || shift <= width_shift_ - kRetuneBand) {
+        resize(buckets_.size());
+        continue;
+      }
+    }
+    return;
+  }
+}
+
+void CalendarEventQueue::promote_overflow() {
+  const std::uint64_t window_end = cur_b_ + buckets_.size();
+  while (!overflow_.empty() && bucket_of(overflow_.top().time) < window_end) {
+    insert_calendar(overflow_.top());
+    overflow_.pop();
+    ++stats_.overflow_promotions;
+  }
+  overflow_min_b_ = overflow_.empty() ? kNoBucket : bucket_of(overflow_.top().time);
+}
+
+void CalendarEventQueue::insert_calendar(const QueuedEvent& ev) {
+  Bucket& bk = slot(bucket_of(ev.time));
+  if (bk.sorted) {
+    // Descending order, min at the back: ties insert towards the front so an
+    // equal-time event with a larger seq pops after the ones already queued.
+    const auto it = std::upper_bound(bk.events.begin(), bk.events.end(), ev, std::greater<>{});
+    bk.events.insert(it, ev);
+  } else {
+    bk.events.push_back(ev);
+  }
+  ++cal_size_;
+}
+
+void CalendarEventQueue::rewind(std::uint64_t new_cur) {
+  cur_b_ = new_cur;
+  const std::uint64_t window_end = cur_b_ + buckets_.size();
+  for (Bucket& bk : buckets_) {
+    const auto keep_end =
+        std::stable_partition(bk.events.begin(), bk.events.end(), [&](const QueuedEvent& e) {
+          return bucket_of(e.time) < window_end;
+        });
+    for (auto it = keep_end; it != bk.events.end(); ++it) {
+      overflow_min_b_ = std::min(overflow_min_b_, bucket_of(it->time));
+      overflow_.push(*it);
+      --cal_size_;
+    }
+    bk.events.erase(keep_end, bk.events.end());
+  }
+}
+
+int CalendarEventQueue::tuned_width_shift(const std::vector<QueuedEvent>& all) const {
+  // Brown's rule in both branches: width ~ 3x the per-event gap keeps the
+  // serving bucket at a handful of events; rounded up to a power of two for
+  // shift-based hashing.
+  if (pop_times_full_) {
+    // The dispatch-gap estimate measures the density the serving bucket
+    // actually experiences — unlike the pending set, it is not skewed by
+    // far-future timers parked in the overflow tier.
+    SimTime lo = pop_times_[0], hi = pop_times_[0];
+    for (const SimTime t : pop_times_) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    const SimTime width = 3 * (hi - lo) / static_cast<SimTime>(kGapWindow - 1);
+    return shift_for(std::max<SimTime>(1, width));
+  }
+  if (all.size() < 2) return width_shift_;
+  // No dispatch history yet (pre-run scheduling burst): evenly strided sample
+  // of pending event times. After sorting, consecutive samples are ~stride
+  // events apart, so median_gap / stride estimates the typical per-event
+  // spacing in the dense region while staying robust against far-future
+  // outliers (which only perturb the top gaps).
+  std::vector<SimTime> sample;
+  const std::size_t stride = std::max<std::size_t>(1, all.size() / kWidthSample);
+  for (std::size_t i = 0; i < all.size(); i += stride) sample.push_back(all[i].time);
+  std::sort(sample.begin(), sample.end());
+  std::vector<SimTime> gaps;
+  gaps.reserve(sample.size() - 1);
+  for (std::size_t i = 1; i < sample.size(); ++i) gaps.push_back(sample[i] - sample[i - 1]);
+  std::sort(gaps.begin(), gaps.end());
+  const SimTime median = gaps[gaps.size() / 2];
+  const SimTime width = 3 * median / static_cast<SimTime>(stride);
+  return shift_for(std::max<SimTime>(1, width));
+}
+
+void CalendarEventQueue::resize(std::size_t nbuckets) {
+  ++stats_.resizes;
+  pops_since_resize_ = 0;
+  // Only the calendar tier is rebucketed. The overflow heap is already in
+  // (time, seq) order independent of the bucket width, so it is left alone —
+  // rehashing tens of thousands of parked backoff timers on every retune was
+  // the dominant resize cost. Its cached min bucket just needs recomputing
+  // under the new width, and the lazy promotion in locate_min() does the rest.
+  std::vector<QueuedEvent> all;
+  all.reserve(cal_size_);
+  for (Bucket& bk : buckets_) {
+    all.insert(all.end(), bk.events.begin(), bk.events.end());
+    bk.events.clear();
+    bk.sorted = false;
+  }
+  width_shift_ = tuned_width_shift(all);
+  buckets_.assign(nbuckets, Bucket{});
+  bucket_mask_ = nbuckets - 1;
+  cal_size_ = 0;
+  // Anchor the window at the global minimum so no pending event — calendar or
+  // overflow — maps to a bucket before cur_b_ (promotion into a slot behind
+  // the serving position would corrupt the wrapped bucket array).
+  SimTime min_t = overflow_.empty() ? SimTime{0} : overflow_.top().time;
+  if (!all.empty()) {
+    min_t = all.front().time;
+    for (const QueuedEvent& e : all) min_t = std::min(min_t, e.time);
+    if (!overflow_.empty()) min_t = std::min(min_t, overflow_.top().time);
+  }
+  cur_b_ = bucket_of(min_t);
+  overflow_min_b_ = overflow_.empty() ? kNoBucket : bucket_of(overflow_.top().time);
+  for (const QueuedEvent& e : all) {
+    const std::uint64_t b = bucket_of(e.time);
+    if (b >= cur_b_ + buckets_.size()) {
+      overflow_.push(e);
+      overflow_min_b_ = std::min(overflow_min_b_, b);
+    } else {
+      insert_calendar(e);
+    }
+  }
+}
+
+}  // namespace dfly

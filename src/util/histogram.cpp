@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace dfly {
 
@@ -11,9 +12,24 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
+  // A NaN/inf sample has no meaningful bin; dropping it (with a counter) beats
+  // the UB of casting it. Out-of-range samples are clamped in the double
+  // domain *before* the integer cast, which is UB for values outside the
+  // target type's range.
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
+  const double pos = (x - lo_) / width_;
+  std::size_t idx;
+  if (!(pos > 0.0)) {
+    idx = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  counts_[idx] += weight;
   total_ += weight;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/units.hpp"
@@ -12,7 +13,8 @@
 namespace dfly {
 
 /// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bin so totals are conserved.
+/// first/last bin so totals are conserved. Non-finite samples (NaN/inf) are
+/// dropped and counted separately — they have no meaningful bin.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -24,11 +26,14 @@ class Histogram {
   double bin_hi(std::size_t i) const;
   double count(std::size_t i) const { return counts_[i]; }
   double total() const { return total_; }
+  /// Samples rejected because x was NaN or infinite.
+  std::uint64_t non_finite() const { return non_finite_; }
 
  private:
   double lo_, hi_, width_;
   std::vector<double> counts_;
   double total_ = 0;
+  std::uint64_t non_finite_ = 0;
 };
 
 /// Accumulates bytes into fixed-duration time buckets.

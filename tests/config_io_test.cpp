@@ -154,6 +154,36 @@ TEST(ConfigIo, RejectsMalformedFaultLines) {
   }
 }
 
+TEST(ConfigIo, RejectsIntegerValuesThatWouldNarrow) {
+  // Regression: set_int blind-cast the parsed int64 into possibly-32-bit
+  // members, so out-of-range values wrapped silently.
+  const char* bad[] = {
+      "[topology]\ngroups = 4294967305\n",            // wraps to 9 as int32
+      "[topology]\nrows = -4294967294\n",             // wraps to 2 as int32
+      "[network]\nretransmit_max_backoff = 8589934592\n",  // wraps to 0
+      "[experiment]\nseed = -1\n",                    // negative into uint64
+      "[experiment]\nmax_events = -5\n",              // negative into uint64
+      "[health]\nenabled = 2\n",                      // bool takes only 0/1
+  };
+  for (const char* text : bad) {
+    std::istringstream is(text);
+    try {
+      parse_config(is);
+      FAIL() << "accepted narrowing value:\n" << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("config: value out of range"), std::string::npos)
+          << "wrong error for:\n" << text << "\ngot: " << e.what();
+    }
+  }
+}
+
+TEST(ConfigIo, AcceptsFullRangeOfNarrowMembers) {
+  std::istringstream is("[health]\nstall_ticks = 2147483647\nenabled = 1\n");
+  const ExperimentOptions options = parse_config(is);
+  EXPECT_EQ(options.health.stall_ticks, 2147483647);
+  EXPECT_TRUE(options.health.enabled);
+}
+
 TEST(ConfigIo, DefaultsArePreservedForUnsetKeys) {
   ExperimentOptions defaults;
   defaults.msg_scale = 0.125;

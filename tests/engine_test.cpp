@@ -116,6 +116,40 @@ TEST(Engine, RequestStopHaltsRunAndKeepsPendingEvents) {
   EXPECT_FALSE(engine.hit_event_limit());
 }
 
+TEST(Engine, RunUntilDoesNotTeleportToDeadlineAfterStop) {
+  // Regression: a run halted by request_stop() used to advance now() to the
+  // deadline whenever the queue happened to be empty.
+  Engine engine;
+  struct Stopper : EventHandler {
+    Engine* eng;
+    void handle_event(SimTime, const EventPayload&) override { eng->request_stop(); }
+  } stopper;
+  stopper.eng = &engine;
+  engine.schedule(10, &stopper, EventPayload{});
+  engine.run_until(100);
+  EXPECT_TRUE(engine.stop_requested());
+  EXPECT_EQ(engine.now(), 10);  // stopped simulations stay where they stopped
+}
+
+TEST(Engine, RunUntilDoesNotTeleportToDeadlineAfterEventLimit) {
+  Engine engine;
+  Recorder rec;
+  engine.set_event_limit(1);
+  engine.schedule(10, &rec, EventPayload{1, 0, 0, 0});
+  engine.schedule(20, &rec, EventPayload{2, 0, 0, 0});
+  engine.run_until(100);
+  EXPECT_TRUE(engine.hit_event_limit());
+  EXPECT_EQ(engine.now(), 10);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, RunUntilOnStoppedEngineWithEmptyQueueHoldsTime) {
+  Engine engine;
+  engine.request_stop();
+  engine.run_until(42);
+  EXPECT_EQ(engine.now(), 0);
+}
+
 TEST(Engine, ZeroDelaySelfScheduleRunsAtSameTime) {
   Engine engine;
   Recorder rec;

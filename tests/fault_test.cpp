@@ -277,6 +277,37 @@ TEST(RuntimeFaults, RetransmitBackoffDoublesAndCaps) {
   EXPECT_EQ(network.retransmit_delay(10), 16000);  // capped at max_backoff
 }
 
+TEST(RuntimeFaults, RetransmitBackoffSaturatesInsteadOfOverflowing) {
+  // Regression: timeout << shift was UB/overflow for shift counts up to 32
+  // (or large timeouts); the delay now saturates at kMaxRetransmitDelay.
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  NetworkParams params = NetworkParams::theta();
+  params.retransmit_timeout = 20 * units::kMicrosecond;
+  params.retransmit_max_backoff = 32;
+  Network network(engine, topo, params, routing, Rng(1));
+  // 20 us << 32 is ~85900 s — far past the cap.
+  EXPECT_EQ(network.retransmit_delay(32), kMaxRetransmitDelay);
+  EXPECT_EQ(network.retransmit_delay(1'000'000), kMaxRetransmitDelay);
+  // Below the cap the doubling series is unchanged.
+  EXPECT_EQ(network.retransmit_delay(0), 20 * units::kMicrosecond);
+  EXPECT_EQ(network.retransmit_delay(10), 20 * units::kMicrosecond << 10);
+  // Monotone non-decreasing across the whole attempt range.
+  SimTime prev = 0;
+  for (int attempts = 0; attempts <= 40; ++attempts) {
+    const SimTime d = network.retransmit_delay(attempts);
+    EXPECT_GE(d, prev) << "attempt " << attempts;
+    EXPECT_LE(d, kMaxRetransmitDelay);
+    prev = d;
+  }
+
+  // A second-scale timeout would overflow SimTime outright without the cap.
+  params.retransmit_timeout = units::kSecond;
+  Network slow(engine, topo, params, routing, Rng(1));
+  EXPECT_EQ(slow.retransmit_delay(32), kMaxRetransmitDelay);
+}
+
 TEST(RuntimeFaults, RetransmitParamsValidated) {
   NetworkParams p = NetworkParams::theta();
   p.retransmit_timeout = 0;

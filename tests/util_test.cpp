@@ -1,6 +1,7 @@
 // Unit tests for units, histogram/time-profile and table rendering.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/histogram.hpp"
@@ -48,6 +49,31 @@ TEST(Histogram, WeightedAdds) {
   h.add(0.5, 2.5);
   h.add(0.5, 1.5);
   EXPECT_DOUBLE_EQ(h.count(0), 4.0);
+}
+
+TEST(Histogram, NonFiniteSamplesAreDroppedAndCounted) {
+  // Regression: NaN/inf made the float->int cast UB before the clamp.
+  Histogram h(0, 10, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity(), 3.0);
+  EXPECT_EQ(h.non_finite(), 3u);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_DOUBLE_EQ(h.count(i), 0.0);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(Histogram, HugelyOutOfRangeSamplesClampWithoutOverflow) {
+  // Regression: values far outside ptrdiff_t range were cast before clamping.
+  Histogram h(0, 10, 5);
+  h.add(1e300);   // clamps to the last bin
+  h.add(-1e300);  // clamps to the first bin
+  h.add(std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+  EXPECT_EQ(h.non_finite(), 0u);
 }
 
 TEST(TimeProfile, BucketsBytesByTime) {
