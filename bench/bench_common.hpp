@@ -9,12 +9,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "core/experiment.hpp"
 #include "core/formatters.hpp"
 #include "core/run_matrix.hpp"
 #include "metrics/report.hpp"
+#include "obs/json.hpp"
 #include "workload/workload.hpp"
 
 namespace dfly::bench {
@@ -39,12 +42,79 @@ inline Workload amg_workload(double scale) {
   return make_amg(p);
 }
 
+/// Machine-readable bench results, mirroring BENCH_engine.json: one document
+/// per bench run with a header (bench name, scale, seed) and one flat row per
+/// (workload, config) data point, so CI and plotting scripts never have to
+/// scrape the Markdown tables.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, double scale, std::uint64_t seed)
+      : bench_(std::move(bench)), scale_(scale), seed_(seed) {}
+
+  /// Appends one row of named numeric values (config may be empty).
+  void add_row(std::string workload, std::string config,
+               std::vector<std::pair<std::string, double>> values) {
+    rows_.push_back(Row{std::move(workload), std::move(config), std::move(values)});
+  }
+
+  /// Appends the standard per-config summary of one matrix entry.
+  void add_metrics_row(const std::string& workload, const NamedMetrics& named) {
+    const RunMetrics& m = named.metrics;
+    add_row(workload, named.config,
+            {{"median_comm_ms", m.median_comm_ms()},
+             {"max_comm_ms", m.max_comm_ms()},
+             {"makespan_ms", m.makespan_ms},
+             {"events", static_cast<double>(m.events)},
+             {"bytes_delivered", static_cast<double>(m.bytes_delivered)}});
+  }
+
+  /// Writes the document to `path`; returns false (with a message on stderr)
+  /// on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    obs::JsonWriter w(f, 2);
+    w.begin_object();
+    w.field("bench", bench_);
+    w.field("scale", scale_);
+    w.field("seed", seed_);
+    w.key("rows").begin_array();
+    for (const Row& row : rows_) {
+      w.begin_object();
+      w.field("workload", row.workload);
+      if (!row.config.empty()) w.field("config", row.config);
+      for (const auto& [name, value] : row.values) w.field(name, value);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    f << '\n';
+    if (!f) return false;
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    std::string config;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string bench_;
+  double scale_;
+  std::uint64_t seed_;
+  std::vector<Row> rows_;
+};
+
 /// Runs the Table I matrix for one workload and prints the Fig. 3-style box
 /// table plus a run summary; returns the per-config metrics for further
-/// tables.
+/// tables. When `json` is non-null every config's summary is appended to it.
 inline std::vector<NamedMetrics> run_and_report_matrix(const Workload& workload,
                                                        const ExperimentOptions& options,
-                                                       int threads) {
+                                                       int threads, BenchJson* json = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<ExperimentConfig> configs = table1_configs();
   const std::vector<ExperimentResult> results = run_matrix(workload, configs, options, threads);
@@ -54,6 +124,8 @@ inline std::vector<NamedMetrics> run_and_report_matrix(const Workload& workload,
   std::vector<NamedMetrics> named;
   named.reserve(results.size());
   for (const ExperimentResult& r : results) named.push_back({r.config, r.metrics});
+  if (json)
+    for (const NamedMetrics& n : named) json->add_metrics_row(workload.name, n);
 
   comm_time_box_table(workload.name + ": per-rank communication time (ms)", named)
       .print_markdown(std::cout);

@@ -19,11 +19,13 @@ int main() {
   ExperimentOptions options;
   options.seed = seed;
 
+  bench::BenchJson json("fig3_comm_time", scale, seed);
   for (const Workload& w :
        {bench::cr_workload(scale), bench::fb_workload(scale), bench::amg_workload(scale)}) {
     std::printf("running %s (%d ranks, %.1f MB total)...\n", w.name.c_str(), w.trace.ranks(),
                 units::to_mb(w.trace.total_send_bytes()));
-    bench::run_and_report_matrix(w, options, bench::bench_threads());
+    bench::run_and_report_matrix(w, options, bench::bench_threads(), &json);
   }
+  json.write("BENCH_fig3_comm_time.json");
   return 0;
 }

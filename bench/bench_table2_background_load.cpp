@@ -9,12 +9,14 @@
 // (the substitution is documented in DESIGN.md).
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_interference.hpp"
 
 int main() {
   using namespace dfly;
   const double scale = env_scale(0.25);
-  print_bench_header("Table II", "peak background traffic load", scale, env_seed(42));
+  const std::uint64_t seed = env_seed(42);
+  print_bench_header("Table II", "peak background traffic load", scale, seed);
 
   const TopoParams topo = TopoParams::theta();
   struct AppRow {
@@ -37,6 +39,7 @@ int main() {
                  "paper uniform (MB)", "paper bursty (GB)"});
   const char* paper_uniform[] = {"38.38", "38.38", "27.00"};
   const char* paper_bursty[] = {"92.00", "5.75", "2.85"};
+  bench::BenchJson json("table2_background_load", scale, seed);
   int i = 0;
   for (const AppRow& row : rows) {
     const std::size_t bg = topo.total_nodes() - row.ranks;
@@ -44,9 +47,14 @@ int main() {
                Table::num(units::to_mb(row.uniform.peak_load(bg)), 2),
                Table::num(units::to_mb(row.bursty.peak_load(bg)), 2), paper_uniform[i],
                paper_bursty[i]});
+    json.add_row(row.name, "",
+                 {{"background_nodes", static_cast<double>(bg)},
+                  {"uniform_mb", units::to_mb(row.uniform.peak_load(bg))},
+                  {"bursty_mb", units::to_mb(row.bursty.peak_load(bg))}});
     ++i;
   }
   t.print_markdown(std::cout);
+  json.write("BENCH_table2_background_load.json");
 
   std::printf(
       "Bursty loads are scaled down from the paper's whole-job all-to-all bursts\n"

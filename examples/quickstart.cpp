@@ -1,6 +1,10 @@
 // Quickstart: build a Theta-like dragonfly, place a small job, replay a ring
 // exchange, and print the headline metrics. The ~30 lines between the
 // comments are the whole public-API surface a user needs.
+//
+// Usage: quickstart [telemetry_out_dir]
+// With an argument, telemetry is enabled and the run's flight-recorder
+// artifacts (Chrome trace, counter snapshots, link heatmap) land under it.
 #include <cstdio>
 #include <iostream>
 
@@ -8,7 +12,7 @@
 #include "metrics/report.hpp"
 #include "workload/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfly;
 
   // 1. Describe the system (defaults = the paper's Theta configuration) and
@@ -18,6 +22,11 @@ int main() {
   // 2. Pick a configuration from the paper's Table I matrix and run it.
   ExperimentOptions options;  // Theta topology + link parameters
   options.seed = 1;
+  if (argc > 1) {
+    options.telemetry.enabled = true;
+    options.telemetry.out_dir = argv[1];
+    options.telemetry.sample_rate = 0.02;  // full path of 1 chunk in 50
+  }
   const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Adaptive};
   const ExperimentResult result = run_experiment(workload, config, options);
 
@@ -30,5 +39,14 @@ int main() {
 
   std::vector<NamedMetrics> runs = {{result.config, result.metrics}};
   comm_time_box_table("Per-rank communication time", runs).print_markdown(std::cout);
+
+  if (!result.telemetry_dir.empty()) {
+    std::printf("telemetry       : %s (%llu of %llu chunks traced)\n",
+                result.telemetry_dir.c_str(),
+                static_cast<unsigned long long>(result.trace_chunks_sampled),
+                static_cast<unsigned long long>(result.trace_chunks_seen));
+    std::printf("open %s/trace.json in https://ui.perfetto.dev or chrome://tracing\n",
+                result.telemetry_dir.c_str());
+  }
   return 0;
 }

@@ -145,6 +145,18 @@ const std::map<std::string, Setter>& setters() {
          if (in >> rest)
            throw std::runtime_error("config: trailing junk in " + k + ": '" + v + "'");
        })},
+      {"telemetry.enabled",
+       set_int([](ExperimentOptions& o) -> bool& { return o.telemetry.enabled; })},
+      {"telemetry.sample_rate",
+       set_double([](ExperimentOptions& o) -> double& { return o.telemetry.sample_rate; })},
+      {"telemetry.out_dir",
+       Setter([](ExperimentOptions& o, const std::string&, const std::string& v) {
+         o.telemetry.out_dir = v;
+       })},
+      {"telemetry.chrome_trace",
+       set_int([](ExperimentOptions& o) -> bool& { return o.telemetry.chrome_trace; })},
+      {"telemetry.snapshot_interval_ns",
+       set_int([](ExperimentOptions& o) -> SimTime& { return o.telemetry.snapshot_interval; })},
       {"experiment.seed",
        set_int([](ExperimentOptions& o) -> std::uint64_t& { return o.seed; })},
       {"experiment.msg_scale",
@@ -191,6 +203,7 @@ ExperimentOptions parse_config(std::istream& is, ExperimentOptions defaults) {
   }
   options.topo.validate();
   options.net.validate();
+  options.telemetry.validate();
   return options;
 }
 
@@ -228,6 +241,12 @@ std::string render_config(const ExperimentOptions& o) {
   os << "enabled = " << (o.health.enabled ? 1 : 0) << "\n";
   os << "interval_ns = " << o.health.interval << "\n";
   os << "stall_ticks = " << o.health.stall_ticks << "\n";
+  os << "\n[telemetry]\n";
+  os << "enabled = " << (o.telemetry.enabled ? 1 : 0) << "\n";
+  os << "sample_rate = " << o.telemetry.sample_rate << "\n";
+  os << "out_dir = " << o.telemetry.out_dir << "\n";
+  os << "chrome_trace = " << (o.telemetry.chrome_trace ? 1 : 0) << "\n";
+  os << "snapshot_interval_ns = " << o.telemetry.snapshot_interval << "\n";
   os << "\n[experiment]\n";
   os << "seed = " << o.seed << "\n";
   os << "msg_scale = " << o.msg_scale << "\n";

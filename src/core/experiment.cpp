@@ -55,23 +55,41 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   Network network(engine, topo, options.net, *routing, master.fork(1));
   ReplayEngine replay(engine, network, trace, placement, options.replay);
 
+  // Declared after the network/routing it hooks into, so the destructor
+  // unhooks while both are still alive.
+  std::optional<RunTelemetry> telemetry;
+  if (options.telemetry.enabled) telemetry.emplace(engine, network, *routing, options.telemetry);
+
   std::optional<BackgroundDriver> background;
   if (options.background) {
     std::vector<NodeId> rest = remaining_nodes(options.topo, placement);
     background.emplace(engine, network, std::move(rest), *options.background, master.fork(2));
-    replay.set_completion_callback([&background](SimTime) { background->request_stop(); });
     background->start();
+  }
+  if (background || telemetry) {
+    // Both the background driver and the counter probe reschedule themselves;
+    // stop them when the replayed application finishes so they never keep a
+    // finished simulation alive.
+    replay.set_completion_callback([&background, &telemetry](SimTime) {
+      if (background) background->request_stop();
+      if (telemetry) telemetry->request_stop();
+    });
   }
 
   std::optional<FaultInjector> injector;
   if (!options.faults.empty()) {
     injector.emplace(engine, *local_topo, network, routing.get(), options.faults);
     injector->start();
+    if (telemetry) register_fault_counters(telemetry->registry(), *injector);
   }
 
   HealthMonitor monitor(engine, network, options.health);
   monitor.set_work_remaining([&replay] { return !replay.finished(); });
   if (options.health.enabled) monitor.start();
+  if (telemetry) {
+    register_health_counters(telemetry->registry(), monitor);
+    telemetry->start();
+  }
 
   replay.start();
   engine.run();
@@ -104,6 +122,12 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     result.health_report = monitor.report().to_string();
   else if (engine.hit_event_limit())
     result.health_report = monitor.capture(engine.now()).to_string();
+  if (telemetry) {
+    telemetry->finish(engine.now());
+    result.trace_chunks_seen = telemetry->tracer().chunks_seen();
+    result.trace_chunks_sampled = telemetry->tracer().chunks_sampled();
+    result.telemetry_dir = export_run_artifacts(*telemetry, result, network, engine.now());
+  }
   return result;
 }
 

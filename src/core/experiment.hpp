@@ -12,6 +12,7 @@
 #include "fault/health.hpp"
 #include "metrics/collector.hpp"
 #include "net/params.hpp"
+#include "obs/telemetry.hpp"
 #include "replay/replay.hpp"
 #include "place/placement.hpp"
 #include "routing/algorithm.hpp"
@@ -50,7 +51,8 @@ struct ExperimentOptions {
   /// experiment copy the topology (runtime faults mutate link state), so a
   /// shared topology is never touched.
   FaultSchedule faults;
-  HealthOptions health;  ///< progress/conservation monitor settings
+  HealthOptions health;     ///< progress/conservation monitor settings
+  TelemetryOptions telemetry;  ///< flight-recorder tracing + run artifacts
 };
 
 struct ExperimentResult {
@@ -67,6 +69,10 @@ struct ExperimentResult {
   /// Structured diagnostic dump; non-empty when the run stalled, tripped the
   /// event-limit watchdog, or failed the conservation audit.
   std::string health_report;
+  // --- telemetry outcome (zeros/empty when telemetry is disabled) ---
+  std::string telemetry_dir;  ///< artifact directory; empty on export failure
+  std::uint64_t trace_chunks_seen = 0;
+  std::uint64_t trace_chunks_sampled = 0;
 };
 
 /// Runs `workload` under `config`. If `shared_topo` is non-null it must match

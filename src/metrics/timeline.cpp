@@ -10,6 +10,8 @@ TimelineSampler::TimelineSampler(Engine& engine, const Network& network, SimTime
 }
 
 void TimelineSampler::start() {
+  if (started_) throw std::logic_error("timeline: start() called twice");
+  started_ = true;
   engine_.schedule_after(0, this, EventPayload{1, 0, 0, 0});
 }
 
@@ -22,8 +24,17 @@ void TimelineSampler::sample(SimTime now) {
   const DragonflyTopology& topo = network_.topology();
   for (RouterId r = 0; r < topo.params().total_routers(); ++r) {
     const Router& router = network_.router(r);
-    for (int p = 0; p < router.num_ports(); ++p) s.queued_bytes += router.port(p).queued_bytes;
+    for (int p = 0; p < router.num_ports(); ++p) {
+      const OutPort& port = router.port(p);
+      switch (port.kind) {
+        case PortKind::Terminal: s.queued_terminal += port.queued_bytes; break;
+        case PortKind::LocalRow:
+        case PortKind::LocalCol: s.queued_local += port.queued_bytes; break;
+        case PortKind::Global: s.queued_global += port.queued_bytes; break;
+      }
+    }
   }
+  s.queued_bytes = s.queued_local + s.queued_global + s.queued_terminal;
   samples_.push_back(s);
 }
 
@@ -47,12 +58,17 @@ std::vector<double> TimelineSampler::throughput_gbps() const {
 Table TimelineSampler::to_table(const std::string& title) const {
   Table t(title);
   t.set_columns({"time (ms)", "delivered (MB)", "throughput (GB/s)", "queued (MB)",
+                 "queued local (MB)", "queued global (MB)", "queued terminal (MB)",
                  "msgs in flight"});
+  if (samples_.empty()) return t;  // headers only: never started or never fired
   const std::vector<double> rates = throughput_gbps();
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     const TimelineSample& s = samples_[i];
     t.add_row({Table::num(units::to_ms(s.time), 3), Table::num(units::to_mb(s.bytes_delivered), 2),
                Table::num(i > 0 ? rates[i - 1] : 0.0, 2), Table::num(units::to_mb(s.queued_bytes), 3),
+               Table::num(units::to_mb(s.queued_local), 3),
+               Table::num(units::to_mb(s.queued_global), 3),
+               Table::num(units::to_mb(s.queued_terminal), 3),
                Table::num(static_cast<std::int64_t>(s.messages_in_flight))});
   }
   return t;

@@ -16,6 +16,11 @@ struct TimelineSample {
   SimTime time = 0;
   Bytes bytes_delivered = 0;       ///< cumulative
   Bytes queued_bytes = 0;          ///< instantaneous, all router output queues
+  // Per-port-class breakdown of queued_bytes (local covers row + column
+  // ports): which link class congestion sits on, per sample.
+  Bytes queued_local = 0;
+  Bytes queued_global = 0;
+  Bytes queued_terminal = 0;
   std::size_t messages_in_flight = 0;
   std::uint64_t chunks_forwarded = 0;  ///< cumulative
 };
@@ -28,6 +33,8 @@ class TimelineSampler : public EventHandler {
   /// completion callback).
   TimelineSampler(Engine& engine, const Network& network, SimTime interval);
 
+  /// Schedules the first probe; throws std::logic_error on a second call (a
+  /// double start would double the sampling cadence).
   void start();
   void request_stop() { stopped_ = true; }
 
@@ -48,6 +55,7 @@ class TimelineSampler : public EventHandler {
   Engine& engine_;
   const Network& network_;
   SimTime interval_;
+  bool started_ = false;
   bool stopped_ = false;
   std::vector<TimelineSample> samples_;
 };

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace dfly {
 
 const char* to_string(Arbitration policy) {
@@ -94,6 +96,7 @@ void Network::try_inject(NodeId node, SimTime now) {
   HopStats& hs = hop_stats_[node];
   ++hs.chunks;
   hs.routers_sum += static_cast<std::uint64_t>(chunk.route.routers_traversed());
+  if (tracer_) tracer_->on_chunk_injected(cid, head.msg, m.src, m.dst, size, now);
 
   const SimTime t_end = now + units::transfer_time(size, params_.bandwidth(PortKind::Terminal));
   nic.busy_until = t_end;
@@ -178,6 +181,7 @@ void Network::try_send(RouterId rid, int port, SimTime now) {
   op.tx_vc = hop.vc;
   op.traffic += chunk.bytes;
   ++chunks_forwarded_;
+  if (tracer_) tracer_->on_transmit_start(cid, now, t_end);
   engine_.schedule(t_end, this,
                    EventPayload{kPortFree, 0, static_cast<std::uint64_t>(topo_.channel_id(rid, port)), 0});
 
@@ -229,11 +233,13 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
         // The next link of this chunk's source route died while it was in
         // flight. Drop it here; the owning NIC retransmits the bytes later.
         return_upstream_credit(chunk, now);
-        account_drop(chunk, now);
+        account_drop(cid, now);
         chunks_.release(cid);
         break;
       }
       OutPort& op = routers_[rid].port(hop.port);
+      if (tracer_)
+        tracer_->on_hop_enqueue(cid, rid, hop.port, op.kind, hop.vc, op.queued_bytes, now);
       op.queue.push_back(cid);
       op.queued_bytes += chunk.bytes;
       try_send(rid, hop.port, now);
@@ -280,6 +286,7 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
       m.delivered += chunk.bytes;
       bytes_delivered_ += chunk.bytes;
       in_fabric_bytes_ -= chunk.bytes;
+      if (tracer_) tracer_->on_delivered(cid, now);
       chunks_.release(cid);
       if (m.delivered == m.total) {
         if (m.notify_delivered && sink_) sink_->on_message_delivered(mid, m.user_data, now);
@@ -349,7 +356,8 @@ void Network::return_upstream_credit(const Chunk& chunk, SimTime now) {
   }
 }
 
-void Network::account_drop(const Chunk& chunk, SimTime now) {
+void Network::account_drop(ChunkId cid, SimTime now) {
+  const Chunk& chunk = chunks_[cid];
   MessageRecord& m = msgs_[chunk.msg];
   const Bytes bytes = chunk.bytes;
   m.injected -= bytes;
@@ -358,6 +366,7 @@ void Network::account_drop(const Chunk& chunk, SimTime now) {
   in_fabric_bytes_ -= bytes;
   ++chunks_dropped_;
   ++nics_[m.src].chunks_dropped;
+  if (tracer_) tracer_->on_dropped(cid, now);
   schedule_retransmit(chunk.msg, now);
 }
 
@@ -374,16 +383,15 @@ void Network::on_link_state_changed(RouterId rid, int port, bool up, SimTime now
     Chunk& chunk = chunks_[op.tx_chunk];
     op.credits[op.tx_vc] += chunk.bytes;
     chunk.dropped = true;
-    account_drop(chunk, now);
+    account_drop(op.tx_chunk, now);
     op.tx_chunk = kNoChunk;
     op.busy_until = now;
   }
   // Purge everything queued for the dead port: free this router's input
   // buffer back to the upstream senders and queue the bytes for retransmit.
   for (const ChunkId cid : op.queue) {
-    Chunk& chunk = chunks_[cid];
-    return_upstream_credit(chunk, now);
-    account_drop(chunk, now);
+    return_upstream_credit(chunks_[cid], now);
+    account_drop(cid, now);
     chunks_.release(cid);
   }
   op.queue.clear();

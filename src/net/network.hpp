@@ -35,6 +35,8 @@
 
 namespace dfly {
 
+class ChunkPathTracer;
+
 class Network : public EventHandler, public CongestionView {
  public:
   /// All referenced objects must outlive the Network. `sink` may be null.
@@ -42,6 +44,11 @@ class Network : public EventHandler, public CongestionView {
           const RoutingAlgorithm& routing, Rng rng, MessageSink* sink = nullptr);
 
   void set_sink(MessageSink* sink) { sink_ = sink; }
+
+  /// Installs (or, with nullptr, removes) the flight-recorder chunk tracer
+  /// (src/obs/). The tracer must outlive event processing; null (the default)
+  /// keeps every hook a branch-on-null no-op.
+  void set_tracer(ChunkPathTracer* tracer) { tracer_ = tracer; }
 
   /// Queues a message for injection at `src`'s NIC (src != dst). May be
   /// called before the simulation starts or from within event processing.
@@ -125,7 +132,7 @@ class Network : public EventHandler, public CongestionView {
   void return_upstream_credit(const Chunk& chunk, SimTime now);
   /// Books a dropped chunk's bytes out of the fabric and arms the owning
   /// NIC's retransmit timer.
-  void account_drop(const Chunk& chunk, SimTime now);
+  void account_drop(ChunkId cid, SimTime now);
   void schedule_retransmit(MsgId id, SimTime now);
 
   Engine& engine_;
@@ -134,6 +141,7 @@ class Network : public EventHandler, public CongestionView {
   const RoutingAlgorithm& routing_;
   Rng rng_;
   MessageSink* sink_;
+  ChunkPathTracer* tracer_ = nullptr;
 
   std::vector<Router> routers_;
   std::vector<Nic> nics_;

@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dfly {
+
+ChunkPathTracer::ChunkPathTracer(TraceSink& sink, double sample_rate)
+    : sink_(sink), rate_(sample_rate) {
+  if (!(sample_rate >= 0.0 && sample_rate <= 1.0))
+    throw std::invalid_argument("chunk tracer: sample_rate must be in [0, 1]");
+}
+
+void ChunkPathTracer::on_chunk_injected(ChunkId id, MsgId msg, NodeId src, NodeId dst,
+                                        Bytes bytes, SimTime now) {
+  ++chunks_seen_;
+  acc_ += rate_;
+  if (acc_ < 1.0) return;
+  acc_ -= 1.0;
+  ++chunks_sampled_;
+  LiveChunk& live = live_[id];
+  live.serial = next_serial_++;
+  live.msg = msg;
+  live.src = src;
+  live.dst = dst;
+  live.bytes = bytes;
+  live.has_pending = false;
+  sink_.on_chunk_sampled(live.serial, msg, src, dst, bytes, now);
+}
+
+void ChunkPathTracer::on_hop_enqueue(ChunkId id, RouterId router, int port, PortKind kind,
+                                     int vc, Bytes queue_depth, SimTime now) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  LiveChunk& live = it->second;
+  HopEvent& hop = live.pending;
+  hop = HopEvent{};
+  hop.chunk = live.serial;
+  hop.msg = live.msg;
+  hop.src = live.src;
+  hop.dst = live.dst;
+  hop.router = router;
+  hop.port = static_cast<std::int16_t>(port);
+  hop.vc = static_cast<std::int8_t>(vc);
+  hop.kind = kind;
+  hop.bytes = live.bytes;
+  hop.queue_depth = queue_depth;
+  hop.enqueue_time = now;
+  live.has_pending = true;
+}
+
+void ChunkPathTracer::on_transmit_start(ChunkId id, SimTime start, SimTime end) {
+  const auto it = live_.find(id);
+  if (it == live_.end() || !it->second.has_pending) return;
+  LiveChunk& live = it->second;
+  live.pending.start_time = start;
+  live.pending.end_time = end;
+  live.has_pending = false;
+  ++hops_recorded_;
+  sink_.on_hop(live.pending);
+}
+
+void ChunkPathTracer::close(ChunkId id, SimTime now, bool delivered) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  sink_.on_chunk_closed(it->second.serial, now, delivered);
+  live_.erase(it);
+}
+
+void ChunkPathTracer::on_delivered(ChunkId id, SimTime now) { close(id, now, true); }
+
+void ChunkPathTracer::on_dropped(ChunkId id, SimTime now) { close(id, now, false); }
+
+namespace {
+
+double to_us(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+void ChromeTraceWriter::render(std::ostream& os) const {
+  obs::JsonWriter w(os, 1);
+  w.begin_object();
+  w.field("displayTimeUnit", "ns");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track metadata: one "process" per router, one "thread" per output port,
+  // named so Perfetto shows "router 12 / port 3 (local-row)".
+  std::map<RouterId, std::map<int, PortKind>> tracks;
+  for (const HopEvent& hop : hops_) tracks[hop.router][hop.port] = hop.kind;
+  for (const auto& [router, ports] : tracks) {
+    w.begin_object();
+    w.field("ph", "M").field("name", "process_name").field("pid", std::int64_t{router});
+    w.key("args").begin_object();
+    w.field("name", "router " + std::to_string(router));
+    w.end_object();
+    w.end_object();
+    for (const auto& [port, kind] : ports) {
+      w.begin_object();
+      w.field("ph", "M").field("name", "thread_name").field("pid", std::int64_t{router});
+      w.field("tid", std::int64_t{port});
+      w.key("args").begin_object();
+      w.field("name", "port " + std::to_string(port) + " (" + to_string(kind) + ")");
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  for (const HopEvent& hop : hops_) {
+    w.begin_object();
+    w.field("ph", "X");
+    w.field("name", "m" + std::to_string(hop.msg) + "/c" + std::to_string(hop.chunk));
+    w.field("cat", to_string(hop.kind));
+    w.field("pid", std::int64_t{hop.router});
+    w.field("tid", std::int64_t{hop.port});
+    w.field("ts", to_us(hop.start_time));
+    w.field("dur", to_us(hop.end_time - hop.start_time));
+    w.key("args").begin_object();
+    w.field("msg", std::int64_t{hop.msg});
+    w.field("chunk", static_cast<std::int64_t>(hop.chunk));
+    w.field("src_node", std::int64_t{hop.src});
+    w.field("dst_node", std::int64_t{hop.dst});
+    w.field("vc", std::int64_t{hop.vc});
+    w.field("bytes", hop.bytes);
+    w.field("queue_depth_bytes", hop.queue_depth);
+    w.field("queue_wait_ns", hop.start_time - hop.enqueue_time);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool ChromeTraceWriter::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  render(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace dfly

@@ -35,8 +35,14 @@ Route AdaptiveGlobalRouting::compute(NodeId src, NodeId dst, const CongestionVie
   Route best;
   double best_score = 0;
   bool best_is_minimal = false;
+  double best_minimal = 0, best_nonminimal = 0;  // per-class bests, telemetry
+  bool seen_minimal = false, seen_nonminimal = false;
   auto consider = [&](Route candidate, bool is_minimal) {
     const double s = score(candidate, congestion, is_minimal);
+    double& class_best = is_minimal ? best_minimal : best_nonminimal;
+    bool& class_seen = is_minimal ? seen_minimal : seen_nonminimal;
+    if (!class_seen || s < class_best) class_best = s;
+    class_seen = true;
     const bool better =
         best.empty() || s < best_score || (s == best_score && is_minimal && !best_is_minimal);
     if (better) {
@@ -56,6 +62,8 @@ Route AdaptiveGlobalRouting::compute(NodeId src, NodeId dst, const CongestionVie
     const RouterId via = pick_valiant_intermediate(table_.topology(), r_src, r_dst, rng);
     consider(valiant_route(table_, src, dst, via, rng), false);
   }
+  if (telemetry_)
+    telemetry_->record(r_src, best_is_minimal, best_score, best_minimal, best_nonminimal);
   return best;
 }
 

@@ -5,8 +5,10 @@
 // output queue depths — the information a UGAL-L implementation has locally.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "routing/route.hpp"
 #include "util/rng.hpp"
@@ -25,9 +27,52 @@ class CongestionView {
   virtual Bytes queued_bytes(RouterId router, int port) const = 0;
 };
 
+/// Per-source-router adaptive-decision counters: how often the source chose a
+/// minimal vs. a nonminimal (Valiant) candidate, and the congestion scores
+/// that drove the choice.
+struct RouteDecisionStats {
+  std::uint64_t minimal = 0;     ///< decisions won by a minimal candidate
+  std::uint64_t nonminimal = 0;  ///< decisions won by a Valiant candidate
+  double winning_score_sum = 0;     ///< score of the chosen candidate
+  double minimal_score_sum = 0;     ///< best minimal candidate's score
+  double nonminimal_score_sum = 0;  ///< best nonminimal candidate's score
+};
+
+/// Decision telemetry an adaptive algorithm records into when a sink is
+/// installed via RoutingAlgorithm::set_telemetry (observability layer,
+/// src/obs/). Indexed by source router; grows lazily.
+class RoutingTelemetry {
+ public:
+  void record(RouterId src, bool chose_minimal, double winning_score, double best_minimal_score,
+              double best_nonminimal_score) {
+    if (static_cast<std::size_t>(src) >= per_source_.size()) per_source_.resize(src + 1);
+    RouteDecisionStats& d = per_source_[src];
+    (chose_minimal ? d.minimal : d.nonminimal) += 1;
+    d.winning_score_sum += winning_score;
+    d.minimal_score_sum += best_minimal_score;
+    d.nonminimal_score_sum += best_nonminimal_score;
+    (chose_minimal ? minimal_total_ : nonminimal_total_) += 1;
+  }
+
+  std::uint64_t decisions() const { return minimal_total_ + nonminimal_total_; }
+  std::uint64_t minimal_total() const { return minimal_total_; }
+  std::uint64_t nonminimal_total() const { return nonminimal_total_; }
+  const std::vector<RouteDecisionStats>& per_source() const { return per_source_; }
+
+ private:
+  std::vector<RouteDecisionStats> per_source_;
+  std::uint64_t minimal_total_ = 0;
+  std::uint64_t nonminimal_total_ = 0;
+};
+
 class RoutingAlgorithm {
  public:
   virtual ~RoutingAlgorithm() = default;
+
+  /// Installs (or, with nullptr, removes) a decision-telemetry sink. The sink
+  /// must outlive route computations. Algorithms without an adaptive choice
+  /// (minimal, Valiant) never record into it.
+  void set_telemetry(RoutingTelemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Computes a complete route for one chunk from node `src` to node `dst`
   /// (src != dst), including the final ejection hop.
@@ -39,6 +84,9 @@ class RoutingAlgorithm {
   virtual void on_topology_changed() {}
 
   virtual std::string name() const = 0;
+
+ protected:
+  RoutingTelemetry* telemetry_ = nullptr;  ///< null = telemetry disabled
 };
 
 enum class RoutingKind { Minimal, Adaptive, Valiant, AdaptiveGlobal };

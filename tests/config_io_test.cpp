@@ -184,6 +184,53 @@ TEST(ConfigIo, AcceptsFullRangeOfNarrowMembers) {
   EXPECT_TRUE(options.health.enabled);
 }
 
+TEST(ConfigIo, ParsesTelemetryKeys) {
+  std::istringstream is(R"(
+[telemetry]
+enabled = 1
+sample_rate = 0.25
+out_dir = /tmp/dfly-artifacts
+chrome_trace = 0
+snapshot_interval_ns = 250000
+)");
+  const ExperimentOptions options = parse_config(is);
+  EXPECT_TRUE(options.telemetry.enabled);
+  EXPECT_DOUBLE_EQ(options.telemetry.sample_rate, 0.25);
+  EXPECT_EQ(options.telemetry.out_dir, "/tmp/dfly-artifacts");
+  EXPECT_FALSE(options.telemetry.chrome_trace);
+  EXPECT_EQ(options.telemetry.snapshot_interval, 250000);
+}
+
+TEST(ConfigIo, TelemetryRoundTripsThroughRender) {
+  ExperimentOptions original;
+  original.topo = TopoParams::tiny();
+  original.telemetry.enabled = true;
+  original.telemetry.sample_rate = 0.125;
+  original.telemetry.out_dir = "artifacts/run-7";
+  original.telemetry.chrome_trace = false;
+  original.telemetry.snapshot_interval = 777000;
+
+  std::istringstream is(render_config(original));
+  const ExperimentOptions back = parse_config(is);
+  EXPECT_EQ(back.telemetry.enabled, original.telemetry.enabled);
+  EXPECT_DOUBLE_EQ(back.telemetry.sample_rate, original.telemetry.sample_rate);
+  EXPECT_EQ(back.telemetry.out_dir, original.telemetry.out_dir);
+  EXPECT_EQ(back.telemetry.chrome_trace, original.telemetry.chrome_trace);
+  EXPECT_EQ(back.telemetry.snapshot_interval, original.telemetry.snapshot_interval);
+}
+
+TEST(ConfigIo, RejectsOutOfRangeTelemetryValues) {
+  for (const char* text : {
+           "[telemetry]\nsample_rate = 1.5\n",          // > 1
+           "[telemetry]\nsample_rate = -0.1\n",         // < 0
+           "[telemetry]\nsnapshot_interval_ns = 0\n",   // non-positive period
+           "[telemetry]\nenabled = 1\nout_dir =\n",     // enabled without a dir
+       }) {
+    std::istringstream is(text);
+    EXPECT_THROW(parse_config(is), std::invalid_argument) << text;
+  }
+}
+
 TEST(ConfigIo, DefaultsArePreservedForUnsetKeys) {
   ExperimentOptions defaults;
   defaults.msg_scale = 0.125;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "replay/replay.hpp"
 #include "routing/minimal.hpp"
 #include "workload/synthetic.hpp"
@@ -83,6 +85,78 @@ TEST(Timeline, RejectsNonPositiveInterval) {
   MinimalRouting routing(topo);
   Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
   EXPECT_THROW(TimelineSampler(engine, network, 0), std::invalid_argument);
+}
+
+TEST(Timeline, RejectsDoubleStart) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 1000);
+  sampler.start();
+  EXPECT_THROW(sampler.start(), std::logic_error);
+}
+
+TEST(Timeline, ThroughputWithZeroOrOneSampleIsEmpty) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 1000);
+
+  // Never started: zero samples, no rates, a headers-only table.
+  EXPECT_TRUE(sampler.throughput_gbps().empty());
+  const Table empty = sampler.to_table("empty");
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_GT(empty.columns(), 0u);
+
+  // One probe firing in an otherwise idle engine: one sample, still no rate
+  // (a rate needs two points).
+  sampler.start();
+  engine.run_until(500);  // first probe at t=0 only; next would be t=1000
+  sampler.request_stop();
+  engine.run();
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_TRUE(sampler.throughput_gbps().empty());
+}
+
+TEST(Timeline, ZeroDtBetweenSamplesYieldsZeroRate) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 1000);
+  // Drive the handler directly with two probes at the same timestamp: the
+  // divide-by-dt guard must return 0, not inf/nan.
+  sampler.handle_event(50, EventPayload{1, 0, 0, 0});
+  sampler.handle_event(50, EventPayload{1, 0, 0, 0});
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  const auto rates = sampler.throughput_gbps();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_EQ(rates[0], 0.0);
+}
+
+TEST(Timeline, QueuedBytesSplitsByPortClass) {
+  Engine engine;
+  DragonflyTopology topo(TopoParams::tiny());
+  MinimalRouting routing(topo);
+  Network network(engine, topo, NetworkParams::theta(), routing, Rng(1));
+  TimelineSampler sampler(engine, network, 2 * units::kMicrosecond);
+
+  // Cross-group traffic so local and global queues both see load.
+  const int nodes = topo.params().total_nodes();
+  for (NodeId n = 0; n < nodes; ++n) network.send(n, (n + nodes / 2) % nodes, units::kMiB);
+  sampler.start();
+  engine.run_until(100 * units::kMicrosecond);
+  sampler.request_stop();
+  engine.run();
+
+  Bytes peak = 0;
+  for (const TimelineSample& s : sampler.samples()) {
+    EXPECT_EQ(s.queued_bytes, s.queued_local + s.queued_global + s.queued_terminal);
+    peak = std::max(peak, s.queued_bytes);
+  }
+  EXPECT_GT(peak, 0);
 }
 
 }  // namespace
