@@ -1,0 +1,330 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <array>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "net/network.hpp"
+#include "obs/telemetry.hpp"
+#include "replay/replay.hpp"
+#include "sim/engine.hpp"
+#include "topo/dragonfly.hpp"
+#include "workload/background.hpp"
+
+namespace dfly::ckpt {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+// --- handler registry ------------------------------------------------------
+// Queue events reference handlers by these ids. The order is part of format
+// version 1: extend only by appending.
+enum HandlerId : std::uint32_t {
+  kIdNetwork = 0,
+  kIdReplay = 1,
+  kIdBackground = 2,
+  kIdInjector = 3,
+  kIdMonitor = 4,
+  kIdProbe = 5,
+  kHandlerCount = 6,
+};
+
+std::vector<EventHandler*> handler_table(const SimSnapshotParts& parts) {
+  return {parts.network,
+          parts.replay,
+          parts.background,
+          parts.injector,
+          parts.monitor,
+          parts.telemetry != nullptr ? &parts.telemetry->probe() : nullptr};
+}
+
+// --- topology link state ---------------------------------------------------
+
+void save_topology(Writer& w, const DragonflyTopology& topo) {
+  const int groups = topo.params().groups;
+  std::vector<std::array<std::int32_t, 3>> down_global;
+  for (GroupId a = 0; a < groups; ++a) {
+    for (GroupId b = a + 1; b < groups; ++b) {
+      const auto all = topo.all_global_links(a, b);
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!topo.port_enabled(all[i].src_router, all[i].src_port))
+          down_global.push_back({a, b, static_cast<std::int32_t>(i)});
+      }
+    }
+  }
+  w.size(down_global.size());
+  for (const auto& [a, b, idx] : down_global) {
+    w.i32(a);
+    w.i32(b);
+    w.i32(idx);
+  }
+
+  std::vector<std::pair<RouterId, RouterId>> down_local;
+  for (RouterId u = 0; u < topo.params().total_routers(); ++u) {
+    for (int p = topo.first_row_port(); p < topo.first_global_port(); ++p) {
+      const RouterId v = topo.neighbor(u, p);
+      if (v > u && !topo.port_enabled(u, p)) down_local.emplace_back(u, v);
+    }
+  }
+  w.size(down_local.size());
+  for (const auto& [u, v] : down_local) {
+    w.i32(u);
+    w.i32(v);
+  }
+}
+
+void load_topology(Reader& r, DragonflyTopology& topo) {
+  const int groups = topo.params().groups;
+  const std::size_t nglobal = r.count(12);
+  std::set<std::tuple<GroupId, GroupId, int>> down_global;
+  for (std::size_t i = 0; i < nglobal; ++i) {
+    const GroupId a = r.i32();
+    const GroupId b = r.i32();
+    const int idx = r.i32();
+    if (a < 0 || b <= a || b >= groups) corrupt("disabled global link names a bad group pair");
+    if (idx < 0 || static_cast<std::size_t>(idx) >= topo.all_global_links(a, b).size())
+      corrupt("disabled global link index out of range");
+    down_global.emplace(a, b, idx);
+  }
+  const std::size_t nlocal = r.count(8);
+  std::set<std::pair<RouterId, RouterId>> down_local;
+  for (std::size_t i = 0; i < nlocal; ++i) {
+    const RouterId u = r.i32();
+    const RouterId v = r.i32();
+    if (u < 0 || v <= u || v >= topo.params().total_routers() || topo.local_port_to(u, v) < 0)
+      corrupt("disabled local link endpoints are not neighbors");
+    down_local.emplace(u, v);
+  }
+
+  // Two passes: enable everything that should be up first, then disable.
+  // Enabling never trips the connectivity guard, and by the time the disable
+  // pass runs, each intermediate state has a superset of the (guard-valid)
+  // final state's enabled links — so the guard passes in any order.
+  try {
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool disabling = pass == 1;
+      for (GroupId a = 0; a < groups; ++a) {
+        for (GroupId b = a + 1; b < groups; ++b) {
+          const std::size_t n = topo.all_global_links(a, b).size();
+          for (std::size_t i = 0; i < n; ++i) {
+            const bool down = down_global.count({a, b, static_cast<int>(i)}) > 0;
+            if (down == disabling) topo.set_global_link_state(a, b, static_cast<int>(i), !down);
+          }
+        }
+      }
+      for (RouterId u = 0; u < topo.params().total_routers(); ++u) {
+        for (int p = topo.first_row_port(); p < topo.first_global_port(); ++p) {
+          const RouterId v = topo.neighbor(u, p);
+          if (v <= u) continue;
+          const bool down = down_local.count({u, v}) > 0;
+          if (down == disabling) topo.set_local_link_state(u, v, !down);
+        }
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    corrupt(std::string("checkpointed link state rejected by topology: ") + e.what());
+  }
+}
+
+std::uint8_t presence_mask(const SimSnapshotParts& parts) {
+  std::uint8_t mask = 0;
+  if (parts.background != nullptr) mask |= 1u << 0;
+  if (parts.injector != nullptr) mask |= 1u << 1;
+  if (parts.monitor != nullptr) mask |= 1u << 2;
+  if (parts.telemetry != nullptr) mask |= 1u << 3;
+  return mask;
+}
+
+void require_parts(const SimSnapshotParts& parts) {
+  if (parts.engine == nullptr || parts.topo == nullptr || parts.network == nullptr ||
+      parts.replay == nullptr)
+    throw std::logic_error("checkpoint: engine/topo/network/replay are mandatory");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const SimSnapshotParts& parts) {
+  require_parts(parts);
+  const std::vector<EventHandler*> table = handler_table(parts);
+  const auto id_of = [&table](EventHandler* handler) -> std::uint32_t {
+    for (std::uint32_t id = 0; id < table.size(); ++id) {
+      if (table[id] != nullptr && table[id] == handler) return id;
+    }
+    throw std::runtime_error("snapshot: event queue holds a handler outside the registry");
+  };
+
+  Writer w;
+  w.str(parts.config);
+  w.u64(parts.seed);
+  w.i64(parts.engine->now());
+  w.u64(parts.engine->events_processed());
+  w.u64(parts.engine->pending());
+  w.u8(presence_mask(parts));
+
+  save_topology(w, *parts.topo);
+  parts.engine->save_state(w, id_of);
+  parts.network->save_state(w);
+  parts.replay->save_state(w);
+  if (parts.background != nullptr) parts.background->save_state(w);
+  if (parts.injector != nullptr) parts.injector->save_state(w);
+  if (parts.monitor != nullptr) parts.monitor->save_state(w);
+  if (parts.telemetry != nullptr) parts.telemetry->save_state(w);
+
+  write_snapshot_file(path, SnapshotKind::SimState, w.buffer());
+}
+
+void load_checkpoint(const std::string& path, SimSnapshotParts& parts) {
+  require_parts(parts);
+  const std::string payload = read_snapshot_file(path, SnapshotKind::SimState);
+  Reader r(payload);
+
+  const std::string config = r.str();
+  const std::uint64_t seed = r.u64();
+  r.i64();  // summary time (engine re-reads its own authoritative copy)
+  r.u64();  // summary events processed
+  r.u64();  // summary pending events
+  const std::uint8_t mask = r.u8();
+  if (config != parts.config)
+    corrupt("checkpoint is for config '" + config + "', not '" + parts.config + "'");
+  if (seed != parts.seed) corrupt("checkpoint was taken with a different seed");
+  if (mask != presence_mask(parts))
+    corrupt("subsystem lineup differs from the checkpointed run "
+            "(background/fault/health/telemetry mismatch)");
+
+  const std::vector<EventHandler*> table = handler_table(parts);
+  const auto handler_of = [&table](std::uint32_t id) -> EventHandler* {
+    if (id >= table.size() || table[id] == nullptr)
+      throw std::runtime_error("snapshot: event references an unknown handler id");
+    return table[id];
+  };
+
+  load_topology(r, *parts.topo);
+  parts.engine->load_state(r, handler_of);
+  parts.network->load_state(r);
+  parts.replay->load_state(r);
+  if (parts.background != nullptr) parts.background->load_state(r);
+  if (parts.injector != nullptr) parts.injector->load_state(r);
+  if (parts.monitor != nullptr) parts.monitor->load_state(r);
+  if (parts.telemetry != nullptr) parts.telemetry->load_state(r);
+  r.expect_end();
+}
+
+CheckpointInfo inspect_checkpoint(const std::string& path) {
+  const std::string payload = read_snapshot_file(path, SnapshotKind::SimState);
+  Reader r(payload);
+  CheckpointInfo info;
+  info.config = r.str();
+  info.seed = r.u64();
+  info.time = r.i64();
+  info.events_processed = r.u64();
+  info.pending_events = r.u64();
+  const std::uint8_t mask = r.u8();
+  info.has_background = (mask & (1u << 0)) != 0;
+  info.has_injector = (mask & (1u << 1)) != 0;
+  info.has_monitor = (mask & (1u << 2)) != 0;
+  info.has_telemetry = (mask & (1u << 3)) != 0;
+  return info;
+}
+
+// --- finished-run results (run_matrix sweep markers) ------------------------
+
+namespace {
+
+void save_dvec(Writer& w, const std::vector<double>& v) {
+  w.size(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> load_dvec(Reader& r) {
+  const std::size_t n = r.count(8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+}  // namespace
+
+void save_result(const std::string& path, const ExperimentResult& result) {
+  Writer w;
+  w.str(result.config);
+  const RunMetrics& m = result.metrics;
+  save_dvec(w, m.comm_time_ms);
+  save_dvec(w, m.avg_hops);
+  save_dvec(w, m.local_traffic_mb);
+  save_dvec(w, m.global_traffic_mb);
+  save_dvec(w, m.local_saturation_ms);
+  save_dvec(w, m.global_saturation_ms);
+  w.f64(m.makespan_ms);
+  w.u64(m.events);
+  w.u64(m.chunks);
+  w.i64(m.bytes_delivered);
+  w.size(m.scheduler.buckets);
+  w.i64(m.scheduler.bucket_width);
+  w.size(m.scheduler.calendar_events);
+  w.size(m.scheduler.overflow_events);
+  w.size(m.scheduler.peak_pending);
+  w.u64(m.scheduler.resizes);
+  w.u64(m.scheduler.overflow_promotions);
+  w.i64(result.background_bytes);
+  w.boolean(result.hit_event_limit);
+  w.i64(result.bytes_dropped);
+  w.i64(result.bytes_retransmitted);
+  w.i32(result.faults_fired);
+  w.boolean(result.stalled);
+  w.boolean(result.conservation_ok);
+  w.str(result.health_report);
+  w.str(result.telemetry_dir);
+  w.u64(result.trace_chunks_seen);
+  w.u64(result.trace_chunks_sampled);
+  write_snapshot_file(path, SnapshotKind::SweepResult, w.buffer());
+}
+
+ExperimentResult load_result(const std::string& path) {
+  const std::string payload = read_snapshot_file(path, SnapshotKind::SweepResult);
+  Reader r(payload);
+  ExperimentResult result;
+  result.config = r.str();
+  RunMetrics& m = result.metrics;
+  m.comm_time_ms = load_dvec(r);
+  m.avg_hops = load_dvec(r);
+  m.local_traffic_mb = load_dvec(r);
+  m.global_traffic_mb = load_dvec(r);
+  m.local_saturation_ms = load_dvec(r);
+  m.global_saturation_ms = load_dvec(r);
+  m.makespan_ms = r.f64();
+  m.events = r.u64();
+  m.chunks = r.u64();
+  m.bytes_delivered = r.i64();
+  m.scheduler.buckets = r.u64();
+  m.scheduler.bucket_width = r.i64();
+  m.scheduler.calendar_events = r.u64();
+  m.scheduler.overflow_events = r.u64();
+  m.scheduler.peak_pending = r.u64();
+  m.scheduler.resizes = r.u64();
+  m.scheduler.overflow_promotions = r.u64();
+  result.background_bytes = r.i64();
+  result.hit_event_limit = r.boolean();
+  result.bytes_dropped = r.i64();
+  result.bytes_retransmitted = r.i64();
+  result.faults_fired = r.i32();
+  result.stalled = r.boolean();
+  result.conservation_ok = r.boolean();
+  result.health_report = r.str();
+  result.telemetry_dir = r.str();
+  result.trace_chunks_seen = r.u64();
+  result.trace_chunks_sampled = r.u64();
+  r.expect_end();
+  return result;
+}
+
+}  // namespace dfly::ckpt

@@ -1,0 +1,152 @@
+#include "ckpt/snapshot_io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dfly::ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'F', 'C', 'K'};
+// Caps the snapshot-header payload-size field. Any plausible simulation state
+// fits well under this; a corrupt size field larger than the file is caught
+// by the length check, this cap just keeps the error message honest.
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) corrupt("bad boolean value");
+  return v == 1;
+}
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  if (len > remaining()) corrupt("truncated string");
+  std::string s(data_, len);
+  data_ += len;
+  return s;
+}
+
+std::size_t Reader::count(std::size_t min_element_bytes) {
+  const std::uint64_t n = u64();
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (n > remaining() / min_element_bytes) corrupt("implausible element count");
+  return static_cast<std::size_t>(n);
+}
+
+void Reader::expect_end() const {
+  if (data_ != end_) corrupt("trailing bytes after payload");
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) corrupt("truncated payload");
+}
+
+void write_snapshot_file(const std::string& path, SnapshotKind kind, const std::string& payload) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("snapshot: cannot open for writing: " + tmp);
+    f.write(kMagic, sizeof kMagic);
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t order = kByteOrderSentinel;
+    const auto kind_byte = static_cast<std::uint8_t>(kind);
+    const auto payload_size = static_cast<std::uint64_t>(payload.size());
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    f.write(reinterpret_cast<const char*>(&version), sizeof version);
+    f.write(reinterpret_cast<const char*>(&order), sizeof order);
+    f.write(reinterpret_cast<const char*>(&kind_byte), sizeof kind_byte);
+    f.write(reinterpret_cast<const char*>(&payload_size), sizeof payload_size);
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    f.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    // A full disk surfaces here, not as a truncated file at resume time.
+    f.flush();
+    if (!f) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("snapshot: write failed (disk full?): " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("snapshot: cannot rename into place: " + path);
+  }
+}
+
+std::string read_snapshot_file(const std::string& path, SnapshotKind kind) {
+  // A directory opens fine but explodes from the stream buffer on read
+  // (run_matrix sweep paths ARE directories, with per-config files inside).
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec))
+    throw std::runtime_error("snapshot: path is a directory (sweep checkpoints keep per-config "
+                             ".ckpt files inside): " + path);
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("snapshot: cannot open: " + path);
+  std::string file;
+  try {
+    file.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+  } catch (const std::ios_base::failure&) {
+    throw std::runtime_error("snapshot: read failed: " + path);
+  }
+  if (!f.good() && !f.eof()) throw std::runtime_error("snapshot: read failed: " + path);
+
+  constexpr std::size_t kHeader = 4 + 4 + 4 + 1 + 8;
+  constexpr std::size_t kTrailer = 4;
+  if (file.size() < kHeader + kTrailer) corrupt("file too short for header");
+  if (__builtin_memcmp(file.data(), kMagic, sizeof kMagic) != 0) corrupt("bad magic");
+  std::uint32_t version, order;
+  std::uint8_t kind_byte;
+  std::uint64_t payload_size;
+  __builtin_memcpy(&version, file.data() + 4, sizeof version);
+  __builtin_memcpy(&order, file.data() + 8, sizeof order);
+  __builtin_memcpy(&kind_byte, file.data() + 12, sizeof kind_byte);
+  __builtin_memcpy(&payload_size, file.data() + 13, sizeof payload_size);
+  if (version != kFormatVersion)
+    corrupt("unsupported version " + std::to_string(version));
+  if (order != kByteOrderSentinel) corrupt("byte-order mismatch (not little-endian?)");
+  if (kind_byte != static_cast<std::uint8_t>(kind)) corrupt("wrong snapshot kind");
+  if (payload_size > kMaxPayload) corrupt("implausible payload size");
+  if (file.size() != kHeader + payload_size + kTrailer) corrupt("payload size mismatch");
+
+  std::uint32_t stored_crc;
+  __builtin_memcpy(&stored_crc, file.data() + kHeader + payload_size, sizeof stored_crc);
+  const std::uint32_t actual = crc32(file.data() + kHeader, payload_size);
+  if (stored_crc != actual) corrupt("CRC mismatch (corrupt or bit-flipped file)");
+  return file.substr(kHeader, payload_size);
+}
+
+}  // namespace dfly::ckpt

@@ -157,6 +157,16 @@ const std::map<std::string, Setter>& setters() {
        set_int([](ExperimentOptions& o) -> bool& { return o.telemetry.chrome_trace; })},
       {"telemetry.snapshot_interval_ns",
        set_int([](ExperimentOptions& o) -> SimTime& { return o.telemetry.snapshot_interval; })},
+      {"checkpoint.interval_ns",
+       set_int([](ExperimentOptions& o) -> SimTime& { return o.checkpoint.interval; })},
+      {"checkpoint.path",
+       Setter([](ExperimentOptions& o, const std::string&, const std::string& v) {
+         o.checkpoint.path = v;
+       })},
+      {"checkpoint.resume",
+       set_int([](ExperimentOptions& o) -> bool& { return o.checkpoint.resume; })},
+      {"checkpoint.stop_after_ns",
+       set_int([](ExperimentOptions& o) -> SimTime& { return o.checkpoint.stop_after; })},
       {"experiment.seed",
        set_int([](ExperimentOptions& o) -> std::uint64_t& { return o.seed; })},
       {"experiment.msg_scale",
@@ -247,6 +257,11 @@ std::string render_config(const ExperimentOptions& o) {
   os << "out_dir = " << o.telemetry.out_dir << "\n";
   os << "chrome_trace = " << (o.telemetry.chrome_trace ? 1 : 0) << "\n";
   os << "snapshot_interval_ns = " << o.telemetry.snapshot_interval << "\n";
+  os << "\n[checkpoint]\n";
+  os << "interval_ns = " << o.checkpoint.interval << "\n";
+  if (!o.checkpoint.path.empty()) os << "path = " << o.checkpoint.path << "\n";
+  os << "resume = " << (o.checkpoint.resume ? 1 : 0) << "\n";
+  os << "stop_after_ns = " << o.checkpoint.stop_after << "\n";
   os << "\n[experiment]\n";
   os << "seed = " << o.seed << "\n";
   os << "msg_scale = " << o.msg_scale << "\n";

@@ -1,7 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
 #include "replay/replay.hpp"
 #include "sim/engine.hpp"
 
@@ -29,10 +31,13 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   // immutable and thread-safe to share across concurrent experiments). A
   // fault schedule mutates link state mid-run, so such experiments always
   // work on their own copy and never touch the shared instance.
+  // Checkpoint restore mutates link state too, so checkpoint-enabled runs
+  // also get their own copy.
   std::optional<DragonflyTopology> local_topo;
   if (shared_topo == nullptr) {
     local_topo.emplace(options.topo);
-  } else if (!options.faults.empty()) {
+  } else if (!options.faults.empty() || options.checkpoint.active() ||
+             options.checkpoint.resume) {
     local_topo.emplace(*shared_topo);
   }
   const DragonflyTopology& topo = local_topo ? *local_topo : *shared_topo;
@@ -60,11 +65,22 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   std::optional<RunTelemetry> telemetry;
   if (options.telemetry.enabled) telemetry.emplace(engine, network, *routing, options.telemetry);
 
+  // Resuming restores every subsystem's state AND the engine's event queue,
+  // so none of the start() calls below may run — their events (and those
+  // events' successors) are already in the restored queue.
+  const bool resuming = options.checkpoint.resume && !options.checkpoint.path.empty() &&
+                        std::filesystem::exists(options.checkpoint.path);
+
   std::optional<BackgroundDriver> background;
   if (options.background) {
     std::vector<NodeId> rest = remaining_nodes(options.topo, placement);
-    background.emplace(engine, network, std::move(rest), *options.background, master.fork(2));
-    background->start();
+    // A full-machine app leaves the background job no nodes to run on; the
+    // job then simply does not exist (the interference harness probes exactly
+    // this boundary). The driver itself rejects < 2 nodes.
+    if (rest.size() >= 2) {
+      background.emplace(engine, network, std::move(rest), *options.background, master.fork(2));
+      if (!resuming) background->start();
+    }
   }
   if (background || telemetry) {
     // Both the background driver and the counter probe reschedule themselves;
@@ -79,23 +95,66 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   std::optional<FaultInjector> injector;
   if (!options.faults.empty()) {
     injector.emplace(engine, *local_topo, network, routing.get(), options.faults);
-    injector->start();
+    if (!resuming) injector->start();
     if (telemetry) register_fault_counters(telemetry->registry(), *injector);
   }
 
   HealthMonitor monitor(engine, network, options.health);
   monitor.set_work_remaining([&replay] { return !replay.finished(); });
-  if (options.health.enabled) monitor.start();
+  if (options.health.enabled && !resuming) monitor.start();
   if (telemetry) {
     register_health_counters(telemetry->registry(), monitor);
-    telemetry->start();
+    if (!resuming) telemetry->start();
   }
 
-  replay.start();
-  engine.run();
+  ckpt::SimSnapshotParts parts;
+  parts.config = config.name();
+  parts.seed = options.seed;
+  parts.engine = &engine;
+  parts.topo = local_topo ? &*local_topo : nullptr;
+  parts.network = &network;
+  parts.replay = &replay;
+  parts.background = background ? &*background : nullptr;
+  parts.injector = injector ? &*injector : nullptr;
+  parts.monitor = &monitor;
+  parts.telemetry = telemetry ? &*telemetry : nullptr;
+
+  if (resuming) {
+    ckpt::load_checkpoint(options.checkpoint.path, parts);
+    // Link state may differ from the as-built topology now; rebuild whatever
+    // the routing algorithm precomputed.
+    routing->on_topology_changed();
+  } else {
+    replay.start();
+  }
+
+  bool stopped_at_checkpoint = false;
+  if (options.checkpoint.active()) {
+    // Slice the run at checkpoint boundaries with run_slice. Dispatch order
+    // is strictly (time, seq) either way, so slicing — unlike a self-
+    // scheduling checkpoint event, which would consume sequence numbers —
+    // cannot perturb the simulation; and unlike run_until, run_slice leaves
+    // now() at the last event when the queue drains, so the final clock (and
+    // every time-normalized output) matches an unsliced run exactly.
+    const CheckpointOptions& ck = options.checkpoint;
+    SimTime next = engine.now() + ck.interval;
+    for (;;) {
+      engine.run_slice(next);
+      if (engine.pending() == 0 || engine.stop_requested() || engine.hit_event_limit()) break;
+      ckpt::save_checkpoint(ck.path, parts);
+      if (ck.stop_after > 0 && engine.now() >= ck.stop_after) {
+        stopped_at_checkpoint = true;
+        break;
+      }
+      next += ck.interval;
+    }
+  } else {
+    engine.run();
+  }
   network.finalize(engine.now());
 
-  if (!replay.finished() && !engine.hit_event_limit() && !monitor.stalled()) {
+  if (!replay.finished() && !engine.hit_event_limit() && !monitor.stalled() &&
+      !stopped_at_checkpoint) {
     // Hard deadlock (or a conservation failure stopped the engine): report
     // the structured simulation state, not just the rank count.
     HealthReport report = (monitor.deadlock_detected() || monitor.conservation_failed())
@@ -118,6 +177,7 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   result.faults_fired = injector ? injector->fired() : 0;
   result.stalled = monitor.stalled();
   result.conservation_ok = network.conservation_ok();
+  result.stopped_at_checkpoint = stopped_at_checkpoint;
   if (monitor.stalled() || monitor.conservation_failed())
     result.health_report = monitor.report().to_string();
   else if (engine.hit_event_limit())

@@ -39,6 +39,23 @@ std::vector<ExperimentConfig> table1_configs();
 /// The four extreme configurations used by the sensitivity study (§IV-B).
 std::vector<ExperimentConfig> extreme_configs();
 
+/// Periodic checkpointing and resume ([checkpoint] section of config files).
+/// With interval > 0 and a path set, run_experiment snapshots the complete
+/// simulation state every `interval` ns of simulated time; with resume set it
+/// restores from `path` (if the file exists) instead of starting from t=0,
+/// and the resumed run is bit-identical to the uninterrupted one.
+struct CheckpointOptions {
+  SimTime interval = 0;  ///< ns between snapshots; 0 disables checkpointing
+  std::string path;      ///< snapshot file (run_matrix: a directory)
+  bool resume = false;   ///< restore from `path` when it exists
+  /// Test/kill-emulation hook: stop the run right after the first snapshot
+  /// taken at or past this time (0 = never). The result then carries
+  /// stopped_at_checkpoint instead of tripping the deadlock check.
+  SimTime stop_after = 0;
+
+  bool active() const { return interval > 0 && !path.empty(); }
+};
+
 struct ExperimentOptions {
   TopoParams topo = TopoParams::theta();
   NetworkParams net = NetworkParams::theta();
@@ -53,6 +70,7 @@ struct ExperimentOptions {
   FaultSchedule faults;
   HealthOptions health;     ///< progress/conservation monitor settings
   TelemetryOptions telemetry;  ///< flight-recorder tracing + run artifacts
+  CheckpointOptions checkpoint;  ///< periodic snapshots + resume (src/ckpt/)
 };
 
 struct ExperimentResult {
@@ -73,6 +91,9 @@ struct ExperimentResult {
   std::string telemetry_dir;  ///< artifact directory; empty on export failure
   std::uint64_t trace_chunks_seen = 0;
   std::uint64_t trace_chunks_sampled = 0;
+  /// CheckpointOptions::stop_after halted the run mid-simulation; the metrics
+  /// are partial and the run is meant to be resumed from the snapshot.
+  bool stopped_at_checkpoint = false;
 };
 
 /// Runs `workload` under `config`. If `shared_topo` is non-null it must match

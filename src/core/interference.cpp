@@ -40,8 +40,12 @@ InterferenceResult run_interference(const Workload& workload,
     result.with_background.push_back(NamedMetrics{bg_runs[i].config, bg_runs[i].metrics});
     result.baseline.push_back(NamedMetrics{base_runs[i].config, base_runs[i].metrics});
   }
+  // The app can occupy every node (ranks == total_nodes); the subtraction
+  // must not underflow in size_t and report a near-2^64 background job.
+  const int total_nodes = options.topo.total_nodes();
+  const int ranks = workload.trace.ranks();
   const std::size_t bg_nodes =
-      static_cast<std::size_t>(options.topo.total_nodes() - workload.trace.ranks());
+      ranks < total_nodes ? static_cast<std::size_t>(total_nodes - ranks) : 0;
   result.peak_background_load = spec.peak_load(bg_nodes);
   return result;
 }

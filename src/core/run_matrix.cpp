@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
+
+#include "ckpt/checkpoint.hpp"
 
 namespace dfly {
 
@@ -13,6 +16,10 @@ std::vector<ExperimentResult> run_matrix(const Workload& workload,
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
   threads = std::min<int>(threads, static_cast<int>(configs.size()));
+
+  namespace fs = std::filesystem;
+  const bool checkpointing = options.checkpoint.active();
+  if (checkpointing) fs::create_directories(options.checkpoint.path);
 
   const DragonflyTopology topo(options.topo);
   std::vector<ExperimentResult> results(configs.size());
@@ -25,7 +32,28 @@ std::vector<ExperimentResult> run_matrix(const Workload& workload,
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) return;
       try {
-        results[i] = run_experiment(workload, configs[i], options, &topo);
+        if (!checkpointing) {
+          results[i] = run_experiment(workload, configs[i], options, &topo);
+          continue;
+        }
+        // Per-config checkpoint file + finished-result marker inside the
+        // checkpoint directory.
+        const fs::path dir(options.checkpoint.path);
+        const std::string name = configs[i].name();
+        const std::string ckpt_path = (dir / (name + ".ckpt")).string();
+        const std::string done_path = (dir / (name + ".done")).string();
+        if (options.checkpoint.resume && fs::exists(done_path)) {
+          results[i] = ckpt::load_result(done_path);
+          continue;
+        }
+        ExperimentOptions per_config = options;
+        per_config.checkpoint.path = ckpt_path;
+        results[i] = run_experiment(workload, configs[i], per_config, &topo);
+        if (!results[i].stopped_at_checkpoint) {
+          ckpt::save_result(done_path, results[i]);
+          std::error_code ec;
+          fs::remove(ckpt_path, ec);  // the marker supersedes the snapshot
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/snapshot_io.hpp"
 #include "net/network.hpp"
 
 namespace dfly {
@@ -55,6 +56,45 @@ void FaultInjector::start() {
 
 void FaultInjector::handle_event(SimTime now, const EventPayload& payload) {
   apply(schedule_[payload.b], now);
+}
+
+namespace {
+
+// Digest of the schedule contents: pending fault events in the restored queue
+// index into schedule_, so resuming against a different schedule would apply
+// the wrong faults. The digest pins the schedule identity without storing it.
+std::uint32_t schedule_digest(const FaultSchedule& schedule) {
+  ckpt::Writer w;
+  for (const FaultEvent& ev : schedule) {
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    w.i64(ev.time);
+    w.i32(ev.a);
+    w.i32(ev.b);
+    w.i32(ev.index);
+    w.i32(ev.u);
+    w.i32(ev.v);
+  }
+  const std::string& buf = w.buffer();
+  return ckpt::crc32(buf.data(), buf.size());
+}
+
+}  // namespace
+
+void FaultInjector::save_state(ckpt::Writer& w) const {
+  w.u64(schedule_.size());
+  w.u32(schedule_digest(schedule_));
+  w.i32(fired_);
+  w.i32(skipped_);
+}
+
+void FaultInjector::load_state(ckpt::Reader& r) {
+  if (r.u64() != schedule_.size() || r.u32() != schedule_digest(schedule_))
+    throw std::runtime_error("snapshot: fault schedule does not match the checkpointed run");
+  fired_ = r.i32();
+  skipped_ = r.i32();
+  if (fired_ < 0 || skipped_ < 0 ||
+      static_cast<std::size_t>(fired_) + static_cast<std::size_t>(skipped_) > schedule_.size())
+    throw std::runtime_error("snapshot: fault cursor out of range");
 }
 
 void FaultInjector::apply(const FaultEvent& event, SimTime now) {

@@ -85,6 +85,13 @@ class FaultInjector : public EventHandler {
   /// would have disconnected a group pair or a group's local minimal paths).
   int skipped() const { return skipped_; }
 
+  /// Checkpoint support (src/ckpt/): fired/skipped cursors. The schedule
+  /// itself is rebuilt from the config; a digest of it is validated on load
+  /// so a snapshot cannot resume against a different fault schedule. The
+  /// pending fault events live in the engine's restored queue.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   void apply(const FaultEvent& event, SimTime now);
 

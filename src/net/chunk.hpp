@@ -54,6 +54,16 @@ class ChunkPool {
   std::size_t capacity() const { return chunks_.size(); }
   std::size_t in_use() const { return chunks_.size() - free_.size(); }
 
+  // --- checkpoint support: raw slot/free-list access ---
+  // The free list's order matters (allocate pops from the back), so restore
+  // takes it verbatim rather than recomputing it.
+  const std::vector<Chunk>& slots() const { return chunks_; }
+  const std::vector<ChunkId>& free_slots() const { return free_; }
+  void restore(std::vector<Chunk> slots, std::vector<ChunkId> free_list) {
+    chunks_ = std::move(slots);
+    free_ = std::move(free_list);
+  }
+
  private:
   std::vector<Chunk> chunks_;
   std::vector<ChunkId> free_;

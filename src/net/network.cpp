@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/snapshot_io.hpp"
 #include "obs/trace.hpp"
 
 namespace dfly {
@@ -397,6 +398,253 @@ void Network::on_link_state_changed(RouterId rid, int port, bool up, SimTime now
   op.queue.clear();
   op.queued_bytes = 0;
   op.end_blocked(now);
+}
+
+namespace {
+
+[[noreturn]] void bad_state(const char* what) {
+  throw std::runtime_error(std::string("snapshot: network state invalid: ") + what);
+}
+
+void save_route(ckpt::Writer& w, const Route& route) {
+  w.u8(static_cast<std::uint8_t>(route.size()));
+  for (int i = 0; i < route.size(); ++i) {
+    const Hop& hop = route[i];
+    w.i32(hop.router);
+    w.i32(hop.port);
+    w.i32(hop.vc);
+  }
+}
+
+Route load_route(ckpt::Reader& r) {
+  const std::uint8_t len = r.u8();
+  if (len > kMaxRouteHops) bad_state("route too long");
+  Route route;
+  for (int i = 0; i < len; ++i) {
+    const RouterId router = r.i32();
+    const int port = r.i32();
+    const int vc = r.i32();
+    if (vc != i) bad_state("route VC out of sequence");
+    route.push(router, port);
+  }
+  return route;
+}
+
+}  // namespace
+
+void Network::save_state(ckpt::Writer& w) const {
+  // Chunk pool (before routers/NICs so their queues can be validated against
+  // the pool capacity at load time).
+  w.size(chunks_.capacity());
+  for (const Chunk& chunk : chunks_.slots()) {
+    w.u32(chunk.msg);
+    w.i32(chunk.bytes);
+    w.u8(static_cast<std::uint8_t>(chunk.hop_idx));
+    w.boolean(chunk.dropped);
+    save_route(w, chunk.route);
+  }
+  w.size(chunks_.free_slots().size());
+  for (const ChunkId id : chunks_.free_slots()) w.u32(id);
+
+  w.size(msgs_.slots().size());
+  for (const MessageRecord& m : msgs_.slots()) {
+    w.i32(m.src);
+    w.i32(m.dst);
+    w.i64(m.total);
+    w.i64(m.injected);
+    w.i64(m.delivered);
+    w.i64(m.drop_pending);
+    w.u32(m.retx_attempts);
+    w.boolean(m.retx_scheduled);
+    w.boolean(m.injected_notified);
+    w.u64(m.user_data);
+    w.boolean(m.notify_injected);
+    w.boolean(m.notify_delivered);
+    w.boolean(m.active);
+  }
+  w.size(msgs_.free_slots().size());
+  for (const MsgId id : msgs_.free_slots()) w.u32(id);
+
+  w.size(routers_.size());
+  for (const Router& router : routers_) {
+    w.i32(router.num_ports());
+    for (int p = 0; p < router.num_ports(); ++p) {
+      const OutPort& op = router.port(p);
+      w.i64(op.busy_until);
+      w.size(op.queue.size());
+      for (const ChunkId id : op.queue) w.u32(id);
+      w.i64(op.queued_bytes);
+      w.size(op.credits.size());
+      for (const Bytes c : op.credits) w.i64(c);
+      w.i32(op.last_vc_served);
+      w.u32(op.tx_chunk);
+      w.i32(op.tx_vc);
+      w.i64(op.traffic);
+      w.i64(op.blocked_since);
+      w.i64(op.saturated_time);
+    }
+  }
+
+  w.size(nics_.size());
+  for (const Nic& nic : nics_) {
+    w.i64(nic.busy_until);
+    w.size(nic.queue.size());
+    for (const PendingMsg& pm : nic.queue) {
+      w.u32(pm.msg);
+      w.i64(pm.bytes_left);
+    }
+    w.i64(nic.credits);
+    w.i64(nic.traffic);
+    w.i64(nic.blocked_since);
+    w.i64(nic.saturated_time);
+    w.i64(nic.retransmitted);
+    w.u32(nic.retransmit_events);
+    w.u32(nic.chunks_dropped);
+  }
+
+  w.size(hop_stats_.size());
+  for (const HopStats& hs : hop_stats_) {
+    w.u64(hs.chunks);
+    w.u64(hs.routers_sum);
+  }
+
+  w.u64(chunks_forwarded_);
+  w.i64(bytes_delivered_);
+  w.i64(bytes_injected_);
+  w.i64(bytes_dropped_);
+  w.i64(bytes_retransmitted_);
+  w.i64(in_fabric_bytes_);
+  w.u64(chunks_dropped_);
+  w.u64(retransmit_events_);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+}
+
+void Network::load_state(ckpt::Reader& r) {
+  const std::size_t chunk_cap = r.count(8);
+  std::vector<Chunk> chunk_slots;
+  chunk_slots.reserve(chunk_cap);
+  for (std::size_t i = 0; i < chunk_cap; ++i) {
+    Chunk chunk;
+    chunk.msg = r.u32();
+    chunk.bytes = r.i32();
+    chunk.hop_idx = static_cast<std::int8_t>(r.u8());
+    chunk.dropped = r.boolean();
+    chunk.route = load_route(r);
+    if (chunk.hop_idx > chunk.route.size()) bad_state("chunk hop index past route end");
+    chunk_slots.push_back(chunk);
+  }
+  const std::size_t chunk_free = r.count(4);
+  if (chunk_free > chunk_cap) bad_state("chunk free list larger than pool");
+  std::vector<ChunkId> chunk_free_list;
+  chunk_free_list.reserve(chunk_free);
+  for (std::size_t i = 0; i < chunk_free; ++i) {
+    const ChunkId id = r.u32();
+    if (id >= chunk_cap) bad_state("chunk free-list id out of range");
+    chunk_free_list.push_back(id);
+  }
+  chunks_.restore(std::move(chunk_slots), std::move(chunk_free_list));
+
+  const std::size_t msg_cap = r.count(16);
+  std::vector<MessageRecord> msg_slots;
+  msg_slots.reserve(msg_cap);
+  for (std::size_t i = 0; i < msg_cap; ++i) {
+    MessageRecord m;
+    m.src = r.i32();
+    m.dst = r.i32();
+    m.total = r.i64();
+    m.injected = r.i64();
+    m.delivered = r.i64();
+    m.drop_pending = r.i64();
+    m.retx_attempts = static_cast<std::uint16_t>(r.u32());
+    m.retx_scheduled = r.boolean();
+    m.injected_notified = r.boolean();
+    m.user_data = r.u64();
+    m.notify_injected = r.boolean();
+    m.notify_delivered = r.boolean();
+    m.active = r.boolean();
+    msg_slots.push_back(m);
+  }
+  const std::size_t msg_free = r.count(4);
+  if (msg_free > msg_cap) bad_state("message free list larger than pool");
+  std::vector<MsgId> msg_free_list;
+  msg_free_list.reserve(msg_free);
+  for (std::size_t i = 0; i < msg_free; ++i) {
+    const MsgId id = r.u32();
+    if (id >= msg_cap) bad_state("message free-list id out of range");
+    msg_free_list.push_back(id);
+  }
+  msgs_.restore(std::move(msg_slots), std::move(msg_free_list));
+
+  const std::size_t nrouters = r.count(8);
+  if (nrouters != routers_.size()) bad_state("router count mismatch");
+  for (Router& router : routers_) {
+    if (r.i32() != router.num_ports()) bad_state("port count mismatch");
+    for (int p = 0; p < router.num_ports(); ++p) {
+      OutPort& op = router.port(p);
+      op.busy_until = r.i64();
+      const std::size_t qn = r.count(4);
+      op.queue.clear();
+      for (std::size_t i = 0; i < qn; ++i) {
+        const ChunkId id = r.u32();
+        if (id >= chunks_.capacity()) bad_state("queued chunk id out of range");
+        op.queue.push_back(id);
+      }
+      op.queued_bytes = r.i64();
+      const std::size_t ncredits = r.count(8);
+      if (ncredits != op.credits.size()) bad_state("VC credit vector size mismatch");
+      for (Bytes& c : op.credits) c = r.i64();
+      op.last_vc_served = static_cast<std::int8_t>(r.i32());
+      op.tx_chunk = r.u32();
+      if (op.tx_chunk != kNoChunk && op.tx_chunk >= chunks_.capacity())
+        bad_state("tx chunk id out of range");
+      op.tx_vc = static_cast<std::int8_t>(r.i32());
+      op.traffic = r.i64();
+      op.blocked_since = r.i64();
+      op.saturated_time = r.i64();
+    }
+  }
+
+  const std::size_t nnics = r.count(16);
+  if (nnics != nics_.size()) bad_state("NIC count mismatch");
+  for (Nic& nic : nics_) {
+    nic.busy_until = r.i64();
+    const std::size_t qn = r.count(12);
+    nic.queue.clear();
+    for (std::size_t i = 0; i < qn; ++i) {
+      PendingMsg pm;
+      pm.msg = r.u32();
+      if (pm.msg >= msgs_.slots().size()) bad_state("pending message id out of range");
+      pm.bytes_left = r.i64();
+      nic.queue.push_back(pm);
+    }
+    nic.credits = r.i64();
+    nic.traffic = r.i64();
+    nic.blocked_since = r.i64();
+    nic.saturated_time = r.i64();
+    nic.retransmitted = r.i64();
+    nic.retransmit_events = r.u32();
+    nic.chunks_dropped = r.u32();
+  }
+
+  const std::size_t nhops = r.count(16);
+  if (nhops != hop_stats_.size()) bad_state("hop-stats size mismatch");
+  for (HopStats& hs : hop_stats_) {
+    hs.chunks = r.u64();
+    hs.routers_sum = r.u64();
+  }
+
+  chunks_forwarded_ = r.u64();
+  bytes_delivered_ = r.i64();
+  bytes_injected_ = r.i64();
+  bytes_dropped_ = r.i64();
+  bytes_retransmitted_ = r.i64();
+  in_fabric_bytes_ = r.i64();
+  chunks_dropped_ = r.u64();
+  retransmit_events_ = r.u64();
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.set_state(rng_state);
+  if (!conservation_ok()) bad_state("conservation audit failed after restore");
 }
 
 std::vector<Bytes> Network::vc_occupancy() const {

@@ -111,6 +111,16 @@ class Network : public EventHandler, public CongestionView {
   const DragonflyTopology& topology() const { return topo_; }
   const NetworkParams& params() const { return params_; }
 
+  /// Checkpoint support (src/ckpt/): serializes every piece of fabric state —
+  /// per-port queues/credits/metrics, NIC queues and retransmit accounting,
+  /// the chunk and message pools with their free lists, hop stats, the
+  /// conservation counters and the routing RNG stream. load_state validates
+  /// structural invariants (port counts, pool indices, route lengths) and
+  /// throws std::runtime_error on any mismatch; it requires a freshly
+  /// constructed Network over the same topology and parameters.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   enum EventKind : std::int32_t {
     kChunkArrive = 1,   // a=chunk, b=router

@@ -1,10 +1,12 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <stdexcept>
 
+#include "ckpt/snapshot_io.hpp"
 #include "obs/json.hpp"
 
 namespace dfly {
@@ -74,6 +76,113 @@ void ChunkPathTracer::close(ChunkId id, SimTime now, bool delivered) {
 void ChunkPathTracer::on_delivered(ChunkId id, SimTime now) { close(id, now, true); }
 
 void ChunkPathTracer::on_dropped(ChunkId id, SimTime now) { close(id, now, false); }
+
+namespace {
+
+void save_hop(ckpt::Writer& w, const HopEvent& hop) {
+  w.u64(hop.chunk);
+  w.u32(hop.msg);
+  w.i32(hop.src);
+  w.i32(hop.dst);
+  w.i32(hop.router);
+  w.i32(hop.port);
+  w.i32(hop.vc);
+  w.u8(static_cast<std::uint8_t>(hop.kind));
+  w.i64(hop.bytes);
+  w.i64(hop.queue_depth);
+  w.i64(hop.enqueue_time);
+  w.i64(hop.start_time);
+  w.i64(hop.end_time);
+}
+
+/// Serialized size of one HopEvent, for Reader::count plausibility caps.
+constexpr std::size_t kHopBytes = 8 + 4 + 4 * 5 + 1 + 8 * 5;
+
+HopEvent load_hop(ckpt::Reader& r) {
+  HopEvent hop;
+  hop.chunk = r.u64();
+  hop.msg = r.u32();
+  hop.src = r.i32();
+  hop.dst = r.i32();
+  hop.router = r.i32();
+  hop.port = static_cast<std::int16_t>(r.i32());
+  hop.vc = static_cast<std::int8_t>(r.i32());
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(PortKind::Global))
+    throw std::runtime_error("snapshot: invalid port kind in hop record");
+  hop.kind = static_cast<PortKind>(kind);
+  hop.bytes = r.i64();
+  hop.queue_depth = r.i64();
+  hop.enqueue_time = r.i64();
+  hop.start_time = r.i64();
+  hop.end_time = r.i64();
+  return hop;
+}
+
+}  // namespace
+
+void ChunkPathTracer::save_state(ckpt::Writer& w) const {
+  w.f64(acc_);
+  w.u64(next_serial_);
+  w.u64(chunks_seen_);
+  w.u64(chunks_sampled_);
+  w.u64(hops_recorded_);
+  // Sort by chunk id so the snapshot bytes don't depend on hash-map order.
+  std::vector<ChunkId> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, live] : live_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.size(ids.size());
+  for (const ChunkId id : ids) {
+    const LiveChunk& live = live_.at(id);
+    w.u32(id);
+    w.u64(live.serial);
+    w.u32(live.msg);
+    w.i32(live.src);
+    w.i32(live.dst);
+    w.i64(live.bytes);
+    w.boolean(live.has_pending);
+    if (live.has_pending) save_hop(w, live.pending);
+  }
+}
+
+void ChunkPathTracer::load_state(ckpt::Reader& r) {
+  acc_ = r.f64();
+  next_serial_ = r.u64();
+  chunks_seen_ = r.u64();
+  chunks_sampled_ = r.u64();
+  hops_recorded_ = r.u64();
+  if (!(acc_ >= 0.0 && acc_ < 1.0))
+    throw std::runtime_error("snapshot: tracer sampling accumulator out of range");
+  const std::size_t nlive = r.count(30);
+  live_.clear();
+  live_.reserve(nlive);
+  for (std::size_t i = 0; i < nlive; ++i) {
+    const ChunkId id = r.u32();
+    LiveChunk live;
+    live.serial = r.u64();
+    live.msg = r.u32();
+    live.src = r.i32();
+    live.dst = r.i32();
+    live.bytes = r.i64();
+    live.has_pending = r.boolean();
+    if (live.has_pending) live.pending = load_hop(r);
+    if (!live_.emplace(id, live).second)
+      throw std::runtime_error("snapshot: duplicate live chunk id");
+  }
+}
+
+void ChromeTraceWriter::save_state(ckpt::Writer& w) const {
+  w.size(hops_.size());
+  for (const HopEvent& hop : hops_) save_hop(w, hop);
+}
+
+void ChromeTraceWriter::load_state(ckpt::Reader& r) {
+  const std::size_t n = r.count(kHopBytes);
+  hops_.clear();
+  hops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) hops_.push_back(load_hop(r));
+}
 
 namespace {
 

@@ -28,6 +28,11 @@
 
 namespace dfly {
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 /// One completed hop of a sampled chunk: the chunk occupied `router`'s output
 /// `port` from `enqueue_time`, held the wire [start_time, end_time).
 struct HopEvent {
@@ -73,6 +78,12 @@ class ChunkPathTracer {
   void on_delivered(ChunkId id, SimTime now);
   void on_dropped(ChunkId id, SimTime now);
 
+  /// Checkpoint support (src/ckpt/): sampling accumulator, serial/counter
+  /// state, and the live-chunk table (sampled chunks still in the fabric,
+  /// including their pending half-recorded hop).
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
   double sample_rate() const { return rate_; }
   std::uint64_t chunks_seen() const { return chunks_seen_; }
   std::uint64_t chunks_sampled() const { return chunks_sampled_; }
@@ -109,6 +120,10 @@ class ChromeTraceWriter : public TraceSink {
   void on_hop(const HopEvent& hop) override { hops_.push_back(hop); }
 
   const std::vector<HopEvent>& hops() const { return hops_; }
+
+  /// Checkpoint support: the buffered hop records.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
   /// Renders the trace-event JSON document ({"traceEvents": [...]}).
   void render(std::ostream& os) const;

@@ -59,6 +59,14 @@ class RoutingTelemetry {
   std::uint64_t nonminimal_total() const { return nonminimal_total_; }
   const std::vector<RouteDecisionStats>& per_source() const { return per_source_; }
 
+  /// Checkpoint support (src/ckpt/): wholesale state replacement on restore.
+  void restore(std::vector<RouteDecisionStats> per_source, std::uint64_t minimal_total,
+               std::uint64_t nonminimal_total) {
+    per_source_ = std::move(per_source);
+    minimal_total_ = minimal_total;
+    nonminimal_total_ = nonminimal_total;
+  }
+
  private:
   std::vector<RouteDecisionStats> per_source_;
   std::uint64_t minimal_total_ = 0;

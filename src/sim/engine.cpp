@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "ckpt/snapshot_io.hpp"
 
 namespace dfly {
 
@@ -30,13 +33,37 @@ SimTime Engine::run() {
   return now_;
 }
 
+void Engine::save_state(ckpt::Writer& w,
+                        const std::function<std::uint32_t(EventHandler*)>& id_of) const {
+  w.i64(now_);
+  w.u64(seq_);
+  w.u64(processed_);
+  queue_.save_state(w, id_of);
+}
+
+void Engine::load_state(ckpt::Reader& r,
+                        const std::function<EventHandler*(std::uint32_t)>& handler_of) {
+  assert(queue_.empty() && processed_ == 0 && "load_state requires a fresh engine");
+  now_ = r.i64();
+  seq_ = r.u64();
+  processed_ = r.u64();
+  if (now_ < 0 || processed_ > seq_)
+    throw std::runtime_error("snapshot: inconsistent engine clock state");
+  queue_.load_state(r, handler_of);
+}
+
 SimTime Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.min().time <= deadline) {
-    if (!step()) break;
-  }
+  run_slice(deadline);
   // Advance to the deadline only on a genuine drain: a run halted by
   // request_stop() or the event-limit watchdog must not teleport forward.
   if (queue_.empty() && !stop_requested_ && !hit_limit_ && now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+SimTime Engine::run_slice(SimTime deadline) {
+  while (!queue_.empty() && queue_.min().time <= deadline) {
+    if (!step()) break;
+  }
   return now_;
 }
 

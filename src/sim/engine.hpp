@@ -47,6 +47,13 @@ class Engine {
   /// t > deadline stay queued. Returns current time.
   SimTime run_until(SimTime deadline);
 
+  /// Like run_until(), but never advances now() past the last dispatched
+  /// event, even when the queue drains. A run fully consumed through
+  /// run_slice() calls therefore ends at exactly the same now() as one
+  /// consumed by run() — checkpoint slicing depends on this for bit-exact
+  /// resume (time-normalized outputs read the final clock).
+  SimTime run_slice(SimTime deadline);
+
   SimTime now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
   std::size_t pending() const { return queue_.size(); }
@@ -65,6 +72,15 @@ class Engine {
   /// Occupancy and resize counters of the calendar scheduler (reported by
   /// HealthMonitor and metrics/).
   const SchedulerStats& scheduler_stats() const { return queue_.stats(); }
+
+  /// Checkpoint support (src/ckpt/): serializes the clock, sequence counter,
+  /// processed count and the complete pending-event set. Handlers are mapped
+  /// to stable small ids by `id_of` / `handler_of` (the checkpoint layer owns
+  /// the registry). load_state requires a freshly constructed engine.
+  void save_state(ckpt::Writer& w,
+                  const std::function<std::uint32_t(EventHandler*)>& id_of) const;
+  void load_state(ckpt::Reader& r,
+                  const std::function<EventHandler*(std::uint32_t)>& handler_of);
 
  private:
   bool step();

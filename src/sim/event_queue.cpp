@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
+
+#include "ckpt/snapshot_io.hpp"
 
 namespace dfly {
 
@@ -199,6 +202,112 @@ int CalendarEventQueue::tuned_width_shift(const std::vector<QueuedEvent>& all) c
   const SimTime median = gaps[gaps.size() / 2];
   const SimTime width = 3 * median / static_cast<SimTime>(stride);
   return shift_for(std::max<SimTime>(1, width));
+}
+
+namespace {
+
+void save_event(ckpt::Writer& w, const QueuedEvent& ev,
+                const std::function<std::uint32_t(EventHandler*)>& id_of) {
+  w.i64(ev.time);
+  w.u64(ev.seq);
+  w.u32(id_of(ev.handler));
+  w.i32(ev.payload.kind);
+  w.u32(ev.payload.a);
+  w.u64(ev.payload.b);
+  w.u64(ev.payload.c);
+}
+
+QueuedEvent load_event(ckpt::Reader& r,
+                       const std::function<EventHandler*(std::uint32_t)>& handler_of) {
+  QueuedEvent ev;
+  ev.time = r.i64();
+  ev.seq = r.u64();
+  ev.handler = handler_of(r.u32());
+  ev.payload.kind = r.i32();
+  ev.payload.a = r.u32();
+  ev.payload.b = r.u64();
+  ev.payload.c = r.u64();
+  if (ev.time < 0) throw std::runtime_error("snapshot: negative event time");
+  return ev;
+}
+
+// Serialized size of one event; the Reader's count() guard uses it to bound
+// per-bucket allocations against the bytes actually present.
+constexpr std::size_t kEventBytes = 8 + 8 + 4 + 4 + 4 + 8 + 8;
+
+}  // namespace
+
+void CalendarEventQueue::save_state(
+    ckpt::Writer& w, const std::function<std::uint32_t(EventHandler*)>& id_of) const {
+  w.size(size_);
+  w.size(cal_size_);
+  w.i32(width_shift_);
+  w.size(buckets_.size());
+  w.u64(cur_b_);
+  for (const Bucket& bk : buckets_) {
+    w.boolean(bk.sorted);
+    w.size(bk.events.size());
+    for (const QueuedEvent& ev : bk.events) save_event(w, ev, id_of);
+  }
+  // Drain a copy of the overflow heap in (time, seq) order; re-pushing the
+  // sorted sequence at load time yields an equivalent heap (keys are unique,
+  // so the pop order — the only observable — is identical).
+  auto overflow = overflow_;
+  w.size(overflow.size());
+  while (!overflow.empty()) {
+    save_event(w, overflow.top(), id_of);
+    overflow.pop();
+  }
+  w.u64(overflow_min_b_);
+  w.size(pop_times_.size());
+  for (const SimTime t : pop_times_) w.i64(t);
+  w.size(pop_times_next_);
+  w.boolean(pop_times_full_);
+  w.u64(pops_since_resize_);
+  w.size(stats_.peak_pending);
+  w.u64(stats_.resizes);
+  w.u64(stats_.overflow_promotions);
+}
+
+void CalendarEventQueue::load_state(
+    ckpt::Reader& r, const std::function<EventHandler*(std::uint32_t)>& handler_of) {
+  assert(size_ == 0 && "load_state requires a fresh queue");
+  size_ = r.count(0);
+  cal_size_ = r.count(0);
+  width_shift_ = r.i32();
+  if (width_shift_ < 0 || width_shift_ > 62)
+    throw std::runtime_error("snapshot: bad calendar width shift");
+  const std::size_t nbuckets = r.count(1);
+  if (nbuckets < kMinBuckets || !std::has_single_bit(nbuckets))
+    throw std::runtime_error("snapshot: bad calendar bucket count");
+  cur_b_ = r.u64();
+  buckets_.assign(nbuckets, Bucket{});
+  bucket_mask_ = nbuckets - 1;
+  std::size_t cal_loaded = 0;
+  for (Bucket& bk : buckets_) {
+    bk.sorted = r.boolean();
+    const std::size_t n = r.count(kEventBytes);
+    bk.events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) bk.events.push_back(load_event(r, handler_of));
+    cal_loaded += n;
+  }
+  const std::size_t overflow_n = r.count(kEventBytes);
+  for (std::size_t i = 0; i < overflow_n; ++i) overflow_.push(load_event(r, handler_of));
+  if (cal_loaded != cal_size_ || cal_loaded + overflow_n != size_)
+    throw std::runtime_error("snapshot: calendar event counts inconsistent");
+  overflow_min_b_ = r.u64();
+  const std::size_t ring = r.count(sizeof(SimTime));
+  if (ring != pop_times_.size())
+    throw std::runtime_error("snapshot: dispatch-gap ring size mismatch");
+  for (SimTime& t : pop_times_) t = r.i64();
+  pop_times_next_ = r.count(0);
+  if (pop_times_next_ >= pop_times_.size())
+    throw std::runtime_error("snapshot: bad dispatch-gap ring cursor");
+  pop_times_full_ = r.boolean();
+  pops_since_resize_ = r.u64();
+  stats_.peak_pending = r.count(0);
+  stats_.resizes = r.u64();
+  stats_.overflow_promotions = r.u64();
 }
 
 void CalendarEventQueue::resize(std::size_t nbuckets) {

@@ -16,12 +16,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
 #include "util/units.hpp"
 
 namespace dfly {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 /// Small fixed-size event payload interpreted by the receiving handler.
 struct EventPayload {
@@ -101,6 +107,19 @@ class CalendarEventQueue {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+
+  /// Serializes the complete queue — events plus the calendar's tuning state
+  /// (bucket layout, width, dispatch-gap ring, retune cooldown, stats
+  /// counters) — so a restored queue reproduces not just the dispatch order
+  /// but every future resize/promotion decision bit-for-bit. Handlers are
+  /// written as small ids via `id_of` (they are raw pointers otherwise).
+  void save_state(ckpt::Writer& w,
+                  const std::function<std::uint32_t(EventHandler*)>& id_of) const;
+  /// Restores into a freshly constructed queue; `handler_of` maps saved ids
+  /// back to live handlers. Throws std::runtime_error on malformed input.
+  void load_state(ckpt::Reader& r,
+                  const std::function<EventHandler*(std::uint32_t)>& handler_of);
+
   const SchedulerStats& stats() const {
     stats_.buckets = buckets_.size();
     stats_.bucket_width = SimTime{1} << width_shift_;

@@ -1,5 +1,7 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -9,12 +11,24 @@ namespace dfly {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'F', 'T', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 added the byte-order sentinel after the version field.
+constexpr std::uint32_t kVersion = 2;
+/// Written after the version; a byte-swapped file reads back 0x04030201.
+constexpr std::uint32_t kByteOrderSentinel = 0x01020304u;
+
+// The format is little-endian and written by memcpy of native values; refuse
+// to build for a big-endian host rather than silently writing swapped files.
+static_assert(std::endian::native == std::endian::little,
+              "trace format requires a little-endian host");
+
+/// Plausibility bound for per-rank op counts (the paper's traces top out in
+/// the tens of thousands of ops per rank) — combined with the clamped
+/// reserve() below it keeps a corrupt 8-byte count field from driving an
+/// unbounded allocation before the per-op reads hit EOF.
+constexpr std::uint64_t kMaxOpsPerRank = 100'000'000;
 
 template <typename T>
 void put(std::ostream& os, T value) {
-  // The format is little-endian; all supported platforms here are LE, which
-  // the build asserts via the byte-order check in read.
   os.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
 
@@ -31,6 +45,7 @@ T get(std::istream& is) {
 void write_trace(const Trace& trace, std::ostream& os) {
   os.write(kMagic, sizeof kMagic);
   put<std::uint32_t>(os, kVersion);
+  put<std::uint32_t>(os, kByteOrderSentinel);
   put<std::uint32_t>(os, static_cast<std::uint32_t>(trace.ranks()));
   for (int r = 0; r < trace.ranks(); ++r) {
     const auto& ops = trace.rank(r);
@@ -43,6 +58,10 @@ void write_trace(const Trace& trace, std::ostream& os) {
       put<std::int64_t>(os, op.delay);
     }
   }
+  // A full disk or dead pipe must fail here, at save time, not surface as a
+  // truncated trace at the next load.
+  os.flush();
+  if (!os) throw std::runtime_error("trace: write failed (disk full?)");
 }
 
 Trace read_trace(std::istream& is) {
@@ -52,13 +71,19 @@ Trace read_trace(std::istream& is) {
     throw std::runtime_error("trace: bad magic");
   const auto version = get<std::uint32_t>(is);
   if (version != kVersion) throw std::runtime_error("trace: unsupported version");
+  const auto sentinel = get<std::uint32_t>(is);
+  if (sentinel != kByteOrderSentinel)
+    throw std::runtime_error("trace: byte-order mismatch (not little-endian?)");
   const auto ranks = get<std::uint32_t>(is);
   if (ranks == 0 || ranks > 10'000'000) throw std::runtime_error("trace: implausible rank count");
   Trace trace(static_cast<int>(ranks));
   for (std::uint32_t r = 0; r < ranks; ++r) {
     const auto count = get<std::uint64_t>(is);
+    // `count` is untrusted input: bound it, and reserve incrementally so even
+    // an in-bounds lie allocates no more than one chunk past the real data.
+    if (count > kMaxOpsPerRank) throw std::runtime_error("trace: implausible op count");
     auto& ops = trace.rank(static_cast<int>(r));
-    ops.reserve(count);
+    ops.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
     for (std::uint64_t i = 0; i < count; ++i) {
       TraceOp op;
       const auto kind = get<std::uint8_t>(is);
@@ -69,6 +94,8 @@ Trace read_trace(std::istream& is) {
       op.tag = get<std::int32_t>(is);
       op.bytes = get<std::int64_t>(is);
       op.delay = get<std::int64_t>(is);
+      if (op.bytes < 0) throw std::runtime_error("trace: negative message size");
+      if (op.delay < 0) throw std::runtime_error("trace: negative delay");
       ops.push_back(op);
     }
   }

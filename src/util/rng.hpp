@@ -7,6 +7,7 @@
 // and trivially portable, unlike the unspecified std:: engines' distributions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,13 @@ class Rng {
   /// Forks an independent child stream; children with distinct tags are
   /// statistically independent of each other and of the parent.
   Rng fork(std::uint64_t tag);
+
+  /// The four xoshiro256** state words, for checkpoint/restore: a stream
+  /// restored via set_state continues the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,410 @@
+// Checkpoint/restore tests: snapshot container robustness (truncation, bit
+// flips, wrong kind, hostile counts), bit-exact resume for minimal and
+// adaptive routing under fault injection, identity validation, and the
+// run_matrix sweep resume protocol.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/snapshot_io.hpp"
+#include "core/experiment.hpp"
+#include "core/run_matrix.hpp"
+#include "fault/fault.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// ---------------------------------------------------------------------------
+// snapshot_io: the framed container
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotIo, WriterReaderRoundTripAllFieldTypes) {
+  ckpt::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-123456);
+  w.i64(-9'000'000'000'000LL);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.size(42);
+  w.str("hello snapshot");
+  w.str("");
+
+  const std::string path = temp_path("roundtrip.ckpt");
+  ckpt::write_snapshot_file(path, ckpt::SnapshotKind::SimState, w.buffer());
+  const std::string payload = ckpt::read_snapshot_file(path, ckpt::SnapshotKind::SimState);
+  ckpt::Reader r(payload);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -123456);
+  EXPECT_EQ(r.i64(), -9'000'000'000'000LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.u64(), 42u);  // written via size()
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_NO_THROW(r.expect_end());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, WrongKindIsRejected) {
+  const std::string path = temp_path("kind.ckpt");
+  ckpt::Writer w;
+  w.u32(7);
+  ckpt::write_snapshot_file(path, ckpt::SnapshotKind::SimState, w.buffer());
+  EXPECT_THROW(ckpt::read_snapshot_file(path, ckpt::SnapshotKind::SweepResult),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, DirectoryPathIsRejectedCleanly) {
+  // Sweep checkpoint paths are directories; feeding one to the file reader
+  // must throw our error, not an ios_base::failure from the stream buffer.
+  const std::string dir = temp_path("snapdir");
+  fs::create_directories(dir);
+  EXPECT_THROW(ckpt::read_snapshot_file(dir, ckpt::SnapshotKind::SimState), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotIo, MissingFileThrows) {
+  EXPECT_THROW(ckpt::read_snapshot_file("/nonexistent/dir/x.ckpt", ckpt::SnapshotKind::SimState),
+               std::runtime_error);
+}
+
+TEST(SnapshotIo, EveryTruncationLengthThrows) {
+  const std::string path = temp_path("trunc.ckpt");
+  ckpt::Writer w;
+  for (int i = 0; i < 16; ++i) w.u64(static_cast<std::uint64_t>(i));
+  ckpt::write_snapshot_file(path, ckpt::SnapshotKind::SimState, w.buffer());
+  const std::string whole = slurp(path);
+  ASSERT_GT(whole.size(), 21u);
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    spit(path, whole.substr(0, len));
+    EXPECT_THROW(ckpt::read_snapshot_file(path, ckpt::SnapshotKind::SimState), std::runtime_error)
+        << "truncated to " << len << " of " << whole.size() << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, EverySingleByteCorruptionThrows) {
+  // Any flipped byte must land in a checked field: magic/version/sentinel/
+  // kind/size are validated individually, payload and CRC by the checksum.
+  const std::string path = temp_path("flip.ckpt");
+  ckpt::Writer w;
+  for (int i = 0; i < 16; ++i) w.u64(static_cast<std::uint64_t>(i));
+  ckpt::write_snapshot_file(path, ckpt::SnapshotKind::SimState, w.buffer());
+  const std::string whole = slurp(path);
+  for (std::size_t pos = 0; pos < whole.size(); ++pos) {
+    std::string bad = whole;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    spit(path, bad);
+    EXPECT_THROW(ckpt::read_snapshot_file(path, ckpt::SnapshotKind::SimState), std::runtime_error)
+        << "flipped byte " << pos << " of " << whole.size();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, CountRejectsLengthsThePayloadCannotHold) {
+  ckpt::Writer w;
+  w.u64(1u << 30);  // claims a billion 8-byte elements in a 16-byte payload
+  w.u64(0);
+  ckpt::Reader r(w.buffer());
+  EXPECT_THROW(r.count(8), std::runtime_error);
+}
+
+TEST(SnapshotIo, ExpectEndCatchesTrailingBytes) {
+  ckpt::Writer w;
+  w.u32(1);
+  w.u32(2);
+  ckpt::Reader r(w.buffer());
+  r.u32();
+  EXPECT_THROW(r.expect_end(), std::runtime_error);
+}
+
+TEST(SnapshotIo, ReadPastEndThrowsInsteadOfOverrunning) {
+  ckpt::Writer w;
+  w.u32(7);
+  ckpt::Reader r(w.buffer());
+  r.u32();
+  EXPECT_THROW(r.u8(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact resume
+// ---------------------------------------------------------------------------
+
+Workload ckpt_workload() { return {"ring", make_ring_trace(24, 32 * units::kKiB, 2)}; }
+
+ExperimentOptions ckpt_options(const std::string& telemetry_dir) {
+  ExperimentOptions o;
+  o.topo = TopoParams::tiny();
+  o.seed = 11;
+  o.max_events = 100'000'000;
+  o.telemetry.enabled = true;
+  o.telemetry.sample_rate = 0.05;
+  o.telemetry.snapshot_interval = 20 * units::kMicrosecond;
+  o.telemetry.out_dir = temp_path(telemetry_dir);
+  // Mid-run faults: down a quarter of the global links, later restore one, so
+  // the snapshot carries degraded link state and the pending recovery event.
+  const DragonflyTopology topo(o.topo);
+  Rng rng(5);
+  o.faults = random_global_fault_schedule(topo, 0.25, 20 * units::kMicrosecond, rng);
+  if (!o.faults.empty()) {
+    const FaultEvent& f = o.faults.front();
+    o.faults.push_back(FaultEvent::global_up(60 * units::kMicrosecond, f.a, f.b, f.index));
+  }
+  return o;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.metrics.comm_time_ms, b.metrics.comm_time_ms);
+  EXPECT_EQ(a.metrics.avg_hops, b.metrics.avg_hops);
+  EXPECT_EQ(a.metrics.local_traffic_mb, b.metrics.local_traffic_mb);
+  EXPECT_EQ(a.metrics.global_traffic_mb, b.metrics.global_traffic_mb);
+  EXPECT_EQ(a.metrics.local_saturation_ms, b.metrics.local_saturation_ms);
+  EXPECT_EQ(a.metrics.global_saturation_ms, b.metrics.global_saturation_ms);
+  EXPECT_EQ(a.metrics.makespan_ms, b.metrics.makespan_ms);
+  EXPECT_EQ(a.metrics.events, b.metrics.events);
+  EXPECT_EQ(a.metrics.chunks, b.metrics.chunks);
+  EXPECT_EQ(a.metrics.bytes_delivered, b.metrics.bytes_delivered);
+  EXPECT_EQ(a.metrics.scheduler.peak_pending, b.metrics.scheduler.peak_pending);
+  EXPECT_EQ(a.metrics.scheduler.resizes, b.metrics.scheduler.resizes);
+  EXPECT_EQ(a.metrics.scheduler.overflow_promotions, b.metrics.scheduler.overflow_promotions);
+  EXPECT_EQ(a.bytes_dropped, b.bytes_dropped);
+  EXPECT_EQ(a.bytes_retransmitted, b.bytes_retransmitted);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.stalled, b.stalled);
+  EXPECT_EQ(a.conservation_ok, b.conservation_ok);
+  EXPECT_EQ(a.trace_chunks_seen, b.trace_chunks_seen);
+  EXPECT_EQ(a.trace_chunks_sampled, b.trace_chunks_sampled);
+}
+
+void run_resume_cycle(RoutingKind routing, PlacementKind placement, const std::string& tag) {
+  const ExperimentConfig config{placement, routing};
+  const Workload workload = ckpt_workload();
+
+  const ExperimentOptions golden_opts = ckpt_options(tag + "-golden");
+  const ExperimentResult golden = run_experiment(workload, config, golden_opts);
+  const SimTime makespan = static_cast<SimTime>(golden.metrics.makespan_ms * 1e6);
+  ASSERT_GT(makespan, 0);
+
+  // Interrupted run: snapshot every T/6, die at the first snapshot past T/2.
+  const std::string snapshot = temp_path(tag + ".ckpt");
+  ExperimentOptions interrupted_opts = ckpt_options(tag + "-resumed");
+  interrupted_opts.checkpoint.interval = makespan / 6 > 0 ? makespan / 6 : 1;
+  interrupted_opts.checkpoint.path = snapshot;
+  interrupted_opts.checkpoint.stop_after = makespan / 2;
+  const ExperimentResult partial = run_experiment(workload, config, interrupted_opts);
+  ASSERT_TRUE(partial.stopped_at_checkpoint);
+  EXPECT_LT(partial.metrics.events, golden.metrics.events);
+  ASSERT_TRUE(fs::exists(snapshot));
+
+  const ckpt::CheckpointInfo info = ckpt::inspect_checkpoint(snapshot);
+  EXPECT_EQ(info.config, config.name());
+  EXPECT_EQ(info.seed, golden_opts.seed);
+  EXPECT_GE(info.time, interrupted_opts.checkpoint.stop_after);
+  EXPECT_GT(info.pending_events, 0u);
+  EXPECT_TRUE(info.has_injector);
+  EXPECT_TRUE(info.has_monitor);
+  EXPECT_TRUE(info.has_telemetry);
+
+  ExperimentOptions resumed_opts = interrupted_opts;
+  resumed_opts.checkpoint.resume = true;
+  resumed_opts.checkpoint.stop_after = 0;
+  const ExperimentResult resumed = run_experiment(workload, config, resumed_opts);
+  EXPECT_FALSE(resumed.stopped_at_checkpoint);
+  expect_identical(golden, resumed);
+
+  // The exported telemetry must match byte-for-byte too — the counter
+  // timeline and the sampled chunk trace, not just the end-of-run metrics.
+  for (const char* artifact : {"counters.jsonl", "trace.json", "heatmap.csv"}) {
+    const std::string g = slurp(golden_opts.telemetry.out_dir + "/" + config.name() + "/" + artifact);
+    const std::string r =
+        slurp(resumed_opts.telemetry.out_dir + "/" + config.name() + "/" + artifact);
+    ASSERT_FALSE(g.empty());
+    EXPECT_EQ(g, r) << artifact << " differs after resume";
+  }
+  std::remove(snapshot.c_str());
+}
+
+TEST(CheckpointResume, MinimalRoutingWithFaultsIsBitExact) {
+  run_resume_cycle(RoutingKind::Minimal, PlacementKind::Contiguous, "ckpt-min");
+}
+
+TEST(CheckpointResume, AdaptiveRoutingWithFaultsIsBitExact) {
+  run_resume_cycle(RoutingKind::Adaptive, PlacementKind::RandomNode, "ckpt-adp");
+}
+
+// ---------------------------------------------------------------------------
+// Identity validation and corrupt snapshots through the full resume path
+// ---------------------------------------------------------------------------
+
+/// Runs an interrupted experiment and leaves its snapshot at the returned
+/// path. Cached across tests via static because golden runs dominate runtime.
+std::string make_interrupted_snapshot(const ExperimentConfig& config, ExperimentOptions options,
+                                      const std::string& tag) {
+  const std::string snapshot = temp_path(tag + ".ckpt");
+  options.checkpoint.interval = 4 * units::kMicrosecond;
+  options.checkpoint.path = snapshot;
+  options.checkpoint.stop_after = 8 * units::kMicrosecond;
+  const ExperimentResult partial = run_experiment(ckpt_workload(), config, options);
+  EXPECT_TRUE(partial.stopped_at_checkpoint);
+  return snapshot;
+}
+
+TEST(CheckpointResume, MismatchedIdentityIsRejected) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  const std::string snapshot =
+      make_interrupted_snapshot(config, ckpt_options("ckpt-id"), "ckpt-id");
+
+  ExperimentOptions resume = ckpt_options("ckpt-id");
+  resume.checkpoint.interval = 4 * units::kMicrosecond;
+  resume.checkpoint.path = snapshot;
+  resume.checkpoint.resume = true;
+
+  ExperimentOptions wrong_seed = resume;
+  wrong_seed.seed = 999;
+  EXPECT_THROW(run_experiment(ckpt_workload(), config, wrong_seed), std::runtime_error);
+
+  const ExperimentConfig wrong_config{PlacementKind::RandomNode, RoutingKind::Minimal};
+  EXPECT_THROW(run_experiment(ckpt_workload(), wrong_config, resume), std::runtime_error);
+
+  ExperimentOptions wrong_faults = resume;
+  wrong_faults.faults.push_back(
+      FaultEvent::global_up(80 * units::kMicrosecond, wrong_faults.faults.front().a,
+                            wrong_faults.faults.front().b, wrong_faults.faults.front().index));
+  EXPECT_THROW(run_experiment(ckpt_workload(), config, wrong_faults), std::runtime_error);
+
+  ExperimentOptions no_faults = resume;
+  no_faults.faults.clear();  // subsystem lineup (presence mask) mismatch
+  EXPECT_THROW(run_experiment(ckpt_workload(), config, no_faults), std::runtime_error);
+
+  // The unmodified identity still resumes fine.
+  EXPECT_NO_THROW(run_experiment(ckpt_workload(), config, resume));
+  std::remove(snapshot.c_str());
+}
+
+TEST(CheckpointResume, CorruptSnapshotsThrowNeverCrash) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  const std::string snapshot =
+      make_interrupted_snapshot(config, ckpt_options("ckpt-fuzz"), "ckpt-fuzz");
+  const std::string whole = slurp(snapshot);
+  ASSERT_GT(whole.size(), 64u);
+
+  ExperimentOptions resume = ckpt_options("ckpt-fuzz");
+  resume.checkpoint.interval = 4 * units::kMicrosecond;
+  resume.checkpoint.path = snapshot;
+  resume.checkpoint.resume = true;
+
+  // Truncations, including cutting into the header and off-by-one at the end.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{12}, std::size_t{20},
+                                std::size_t{21}, whole.size() / 3, whole.size() / 2,
+                                whole.size() - 5, whole.size() - 1}) {
+    spit(snapshot, whole.substr(0, len));
+    EXPECT_THROW(run_experiment(ckpt_workload(), config, resume), std::runtime_error)
+        << "truncated to " << len << " bytes";
+  }
+
+  // Single-byte corruptions sampled across the whole file (header, payload
+  // and trailing CRC): the container CRC must catch every payload flip.
+  for (std::size_t pos = 0; pos < whole.size(); pos += whole.size() / 64 + 1) {
+    std::string bad = whole;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x01);
+    spit(snapshot, bad);
+    EXPECT_THROW(run_experiment(ckpt_workload(), config, resume), std::runtime_error)
+        << "flipped byte " << pos;
+  }
+  std::remove(snapshot.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep resume protocol (run_matrix checkpoint directory)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointSweep, ResultMarkerRoundTrip) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = 3;
+  const ExperimentResult result = run_experiment(ckpt_workload(), config, options);
+
+  const std::string path = temp_path("result.done");
+  ckpt::save_result(path, result);
+  const ExperimentResult back = ckpt::load_result(path);
+  expect_identical(result, back);
+  EXPECT_EQ(back.health_report, result.health_report);
+  EXPECT_EQ(back.hit_event_limit, result.hit_event_limit);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSweep, InterruptedSweepResumesToIdenticalResults) {
+  const Workload workload = ckpt_workload();
+  const std::vector<ExperimentConfig> configs = {
+      {PlacementKind::Contiguous, RoutingKind::Minimal},
+      {PlacementKind::RandomNode, RoutingKind::Adaptive}};
+  ExperimentOptions base;
+  base.topo = TopoParams::tiny();
+  base.seed = 17;
+  const std::vector<ExperimentResult> golden = run_matrix(workload, configs, base, 1);
+
+  const std::string dir = temp_path("sweep-ckpt");
+  fs::remove_all(dir);
+
+  // Interrupted sweep: every config halts at its first snapshot past 15 us.
+  ExperimentOptions interrupted = base;
+  interrupted.checkpoint.interval = 3 * units::kMicrosecond;
+  interrupted.checkpoint.path = dir;
+  interrupted.checkpoint.stop_after = 9 * units::kMicrosecond;
+  const std::vector<ExperimentResult> partial = run_matrix(workload, configs, interrupted, 1);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_TRUE(partial[i].stopped_at_checkpoint) << configs[i].name();
+    EXPECT_TRUE(fs::exists(dir + "/" + configs[i].name() + ".ckpt"));
+    EXPECT_FALSE(fs::exists(dir + "/" + configs[i].name() + ".done"));
+  }
+
+  // Resumed sweep: picks up from the per-config snapshots, finishes, and
+  // leaves .done markers (the snapshots are superseded and removed).
+  ExperimentOptions resumed = interrupted;
+  resumed.checkpoint.resume = true;
+  resumed.checkpoint.stop_after = 0;
+  const std::vector<ExperimentResult> finished = run_matrix(workload, configs, resumed, 1);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(golden[i], finished[i]);
+    EXPECT_FALSE(fs::exists(dir + "/" + configs[i].name() + ".ckpt"));
+    EXPECT_TRUE(fs::exists(dir + "/" + configs[i].name() + ".done"));
+  }
+
+  // A third sweep loads the .done markers without re-running anything.
+  const std::vector<ExperimentResult> again = run_matrix(workload, configs, resumed, 2);
+  for (std::size_t i = 0; i < configs.size(); ++i) expect_identical(golden[i], again[i]);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dfly

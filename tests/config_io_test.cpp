@@ -219,6 +219,23 @@ TEST(ConfigIo, TelemetryRoundTripsThroughRender) {
   EXPECT_EQ(back.telemetry.snapshot_interval, original.telemetry.snapshot_interval);
 }
 
+TEST(ConfigIo, CheckpointRoundTripsThroughRender) {
+  ExperimentOptions original;
+  original.topo = TopoParams::tiny();
+  original.checkpoint.interval = 2'500'000;
+  original.checkpoint.path = "sweep-ckpt";
+  original.checkpoint.resume = true;
+  original.checkpoint.stop_after = 9'000'000;
+
+  std::istringstream is(render_config(original));
+  const ExperimentOptions back = parse_config(is);
+  EXPECT_EQ(back.checkpoint.interval, original.checkpoint.interval);
+  EXPECT_EQ(back.checkpoint.path, original.checkpoint.path);
+  EXPECT_EQ(back.checkpoint.resume, original.checkpoint.resume);
+  EXPECT_EQ(back.checkpoint.stop_after, original.checkpoint.stop_after);
+  EXPECT_TRUE(back.checkpoint.active());
+}
+
 TEST(ConfigIo, RejectsOutOfRangeTelemetryValues) {
   for (const char* text : {
            "[telemetry]\nsample_rate = 1.5\n",          // > 1

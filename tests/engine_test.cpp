@@ -81,6 +81,23 @@ TEST(Engine, RunUntilAdvancesTimeWhenQueueEmpty) {
   EXPECT_EQ(engine.now(), 42);
 }
 
+TEST(Engine, RunSliceHoldsClockAtLastEventOnDrain) {
+  // Unlike run_until, run_slice never teleports to the deadline: a run fully
+  // consumed in slices ends at the same now() as run() — checkpoint slicing
+  // relies on this for bit-exact resume.
+  Engine engine;
+  Recorder rec;
+  engine.schedule(10, &rec, EventPayload{1, 0, 0, 0});
+  engine.schedule(30, &rec, EventPayload{2, 0, 0, 0});
+  engine.run_slice(20);
+  EXPECT_EQ(engine.now(), 10);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_slice(100);
+  EXPECT_EQ(engine.now(), 30);  // queue drained; clock stays at the last event
+  engine.run_slice(200);
+  EXPECT_EQ(engine.now(), 30);  // empty-queue slices do not move time at all
+}
+
 TEST(Engine, EventLimitActsAsWatchdog) {
   Engine engine;
   struct Loop : EventHandler {

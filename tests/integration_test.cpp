@@ -161,6 +161,21 @@ TEST(Interference, BackgroundTrafficSlowsTheTargetApp) {
   EXPECT_EQ(t.rows(), 2u);
 }
 
+TEST(Interference, FullMachineAppLeavesZeroBackgroundNodes) {
+  // Regression: with ranks == total_nodes the background node count
+  // (total - ranks) underflowed size_t and reported a ~2^64-node job.
+  const Workload w{"ring", make_ring_trace(48, 8 * units::kKiB, 1)};
+  ExperimentOptions options = tiny_options();
+  BackgroundSpec spec;
+  spec.message_bytes = 64 * units::kKiB;
+  const std::vector<ExperimentConfig> configs = {
+      {PlacementKind::Contiguous, RoutingKind::Minimal}};
+  const InterferenceResult result = run_interference(w, configs, options, spec, 1);
+  EXPECT_EQ(result.peak_background_load, 0);
+  EXPECT_EQ(result.with_background[0].metrics.comm_time_ms,
+            result.baseline[0].metrics.comm_time_ms);
+}
+
 TEST(Sensitivity, RelativeValuesAnchorAtBaseline) {
   ExperimentOptions options = tiny_options();
   auto make = [](double scale) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "trace/trace.hpp"
@@ -115,6 +117,77 @@ TEST(TraceIo, RejectsTruncatedStream) {
 
 TEST(TraceIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/dir/file.bin"), std::runtime_error);
+}
+
+// Binary layout, for the malformed-input tests below:
+//   magic(4) version(4) sentinel(4) ranks(4) | per rank: count(8) then ops of
+//   kind(1) peer(4) tag(4) bytes(8) delay(8). Rank 0's count sits at offset
+//   16, its first op at offset 24.
+std::string trace_bytes() {
+  std::stringstream buf;
+  write_trace(small_trace(), buf);
+  return buf.str();
+}
+
+void expect_rejected(std::string data, const char* what) {
+  std::stringstream buf(std::move(data));
+  EXPECT_THROW(read_trace(buf), std::runtime_error) << what;
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  std::string data = trace_bytes();
+  data[4] = 99;
+  expect_rejected(std::move(data), "version 99");
+}
+
+TEST(TraceIo, RejectsByteOrderMismatch) {
+  // A byte-swapped writer would store the sentinel reversed.
+  std::string data = trace_bytes();
+  std::swap(data[8], data[11]);
+  std::swap(data[9], data[10]);
+  expect_rejected(std::move(data), "swapped sentinel");
+}
+
+TEST(TraceIo, RejectsImplausibleOpCount) {
+  // Regression: a corrupt 8-byte count used to be fed straight into
+  // ops.reserve(), allocating petabytes before the reads hit EOF.
+  std::string data = trace_bytes();
+  for (int i = 16; i < 24; ++i) data[i] = static_cast<char>(0xFF);
+  expect_rejected(std::move(data), "count 2^64-1");
+}
+
+TEST(TraceIo, InBoundsCountLieFailsOnEofNotOnAllocation) {
+  // A plausible-but-wrong count (says 5M ops, file holds a handful) must die
+  // on truncation; the clamped reserve keeps the allocation bounded.
+  std::string data = trace_bytes();
+  const std::uint64_t lie = 5'000'000;
+  std::memcpy(&data[16], &lie, sizeof lie);
+  expect_rejected(std::move(data), "5M-op lie");
+}
+
+TEST(TraceIo, RejectsBadOpKind) {
+  std::string data = trace_bytes();
+  data[24] = static_cast<char>(0xEE);
+  expect_rejected(std::move(data), "op kind 0xEE");
+}
+
+TEST(TraceIo, RejectsNegativeMessageSize) {
+  std::string data = trace_bytes();
+  for (int i = 33; i < 41; ++i) data[i] = static_cast<char>(0xFF);  // bytes = -1
+  expect_rejected(std::move(data), "negative bytes");
+}
+
+TEST(TraceIo, RejectsNegativeDelay) {
+  std::string data = trace_bytes();
+  for (int i = 41; i < 49; ++i) data[i] = static_cast<char>(0xFF);  // delay = -1
+  expect_rejected(std::move(data), "negative delay");
+}
+
+TEST(TraceIo, WriteToFailedStreamThrows) {
+  // Regression: write_trace used to return with the stream in a failed state
+  // and no error, surfacing later as a mysteriously truncated trace.
+  std::ofstream bad("/nonexistent/dir/trace.bin", std::ios::binary);
+  EXPECT_THROW(write_trace(small_trace(), bad), std::runtime_error);
 }
 
 TEST(TraceIo, TextDumpMentionsOps) {
