@@ -1,0 +1,206 @@
+// Fault-tolerant sweep farm driver and chaos self-test.
+//
+// Usage:
+//   sweep_farm run <out_dir> [config.ini]
+//     Runs the paper's four extreme configs (or a config file's options)
+//     through the crash-isolated farm: per-config worker processes, watchdog
+//     timeouts, retry with backoff, quarantine. Writes manifest.json,
+//     failures.jsonl and farm_stats.json into <out_dir> and prints a summary
+//     table. Exits 0 even with quarantined configs (graceful degradation);
+//     exits 1 only if the farm itself was interrupted.
+//
+//   sweep_farm chaos <out_dir>
+//     Self-test of the recovery machinery, in four phases:
+//       golden   — fault-free serial run_matrix sweep; its aggregated
+//                  manifest is the byte-exact reference.
+//       control  — farm run with chaos off; must quarantine nothing and
+//                  reproduce the golden manifest byte-for-byte.
+//       chaos    — farm run that randomly SIGKILLs/SIGSTOPs its own workers;
+//                  every config must still complete (retries resume from
+//                  .ckpt snapshots) and the manifest must STILL be
+//                  byte-identical to the golden one.
+//       watchdog — one config is forced to hang; its worker must be killed
+//                  by the watchdog, retried with backoff, and quarantined
+//                  after the budget while the rest of the matrix completes.
+//     Exits nonzero on any violation.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/run_matrix.hpp"
+#include "farm/manifest.hpp"
+#include "farm/signals.hpp"
+#include "farm/supervisor.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace dfly;
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return "<unreadable: " + path + ">";
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>{});
+}
+
+Workload farm_workload() {
+  return Workload{"ring", make_ring_trace(/*ranks=*/24, 64 * units::kKiB, /*iterations=*/4)};
+}
+
+/// Small-system sweep options shared by every phase: checkpoints every few
+/// simulated microseconds (so a killed worker has something to resume from)
+/// and full telemetry (so the manifest's artifact digests are meaningful).
+ExperimentOptions base_options(const std::string& out_dir) {
+  ExperimentOptions options;
+  options.topo = TopoParams::tiny();
+  options.seed = 7;
+  options.checkpoint.interval = 10 * units::kMicrosecond;
+  options.telemetry.enabled = true;
+  options.telemetry.sample_rate = 0.05;
+  options.telemetry.snapshot_interval = 20 * units::kMicrosecond;
+  options.telemetry.out_dir = out_dir + "/telemetry";
+  options.checkpoint.path = out_dir + "/sweep";
+  return options;
+}
+
+void print_report(const farm::FarmReport& report) {
+  for (const farm::ConfigOutcome& o : report.outcomes) {
+    std::printf("  %-12s %-11s attempts=%zu", o.config.c_str(),
+                o.completed ? "ok" : (o.quarantined ? "QUARANTINED" : "interrupted"),
+                o.attempts.size());
+    if (o.completed) std::printf("  makespan %.3f ms", o.result.metrics.makespan_ms);
+    if (!o.error.empty()) std::printf("  (%s)", o.error.c_str());
+    std::printf("\n");
+  }
+  const farm::FarmStats& s = report.stats;
+  std::printf("  stats: attempts=%lld retries=%lld resumed=%lld timeouts=%lld crashes=%lld "
+              "chaos_kills=%lld chaos_stops=%lld term=%lld kill=%lld\n",
+              static_cast<long long>(s.attempts), static_cast<long long>(s.retries),
+              static_cast<long long>(s.resumed_attempts), static_cast<long long>(s.timeouts),
+              static_cast<long long>(s.crashes), static_cast<long long>(s.chaos_kills),
+              static_cast<long long>(s.chaos_stops),
+              static_cast<long long>(s.sigterm_escalations),
+              static_cast<long long>(s.sigkill_escalations));
+}
+
+int cmd_run(const std::string& out_dir, const std::string& config_file) {
+  ExperimentOptions options = base_options(out_dir);
+  options.farm.enabled = true;
+  if (!config_file.empty()) options = load_config(config_file, options);
+  if (options.checkpoint.path.empty()) options.checkpoint.path = out_dir + "/sweep";
+
+  const Workload workload = farm_workload();
+  const std::vector<ExperimentConfig> configs = extreme_configs();
+  std::printf("farm: %d workers, timeout %lld ms, %d retries, %zu configs\n",
+              options.farm.workers, static_cast<long long>(options.farm.timeout_ms),
+              options.farm.retries, configs.size());
+  const farm::FarmReport report = farm::run_farm(workload, configs, options);
+  print_report(report);
+  const std::string manifest = farm::write_sweep_artifacts(out_dir, report);
+  std::printf("wrote %s (+ failures.jsonl, farm_stats.json)\n", manifest.c_str());
+  return report.interrupted ? 1 : 0;
+}
+
+int cmd_chaos(const std::string& out_dir) {
+  fs::create_directories(out_dir);
+  const Workload workload = farm_workload();
+  const std::vector<ExperimentConfig> configs = extreme_configs();
+  bool all_ok = true;
+  const auto check = [&all_ok](bool ok, const char* what) {
+    std::printf("  %-58s %s\n", what, ok ? "ok" : "FAIL");
+    all_ok = all_ok && ok;
+  };
+
+  // --- golden: fault-free serial sweep, the byte-exact reference ----------
+  std::printf("[golden] serial fault-free sweep...\n");
+  ExperimentOptions golden = base_options(out_dir + "/golden");
+  const std::vector<ExperimentResult> golden_results =
+      run_matrix(workload, configs, golden, /*threads=*/1);
+  farm::write_sweep_artifacts(out_dir + "/golden",
+                              farm::report_from_results(golden_results));
+  const std::string golden_manifest = slurp(out_dir + "/golden/manifest.json");
+  check(!golden_results.empty(), "golden sweep completed");
+
+  // --- control: farm, no injected faults ----------------------------------
+  std::printf("[control] farm sweep, chaos off...\n");
+  ExperimentOptions control = base_options(out_dir + "/control");
+  control.farm.workers = 2;
+  control.farm.timeout_ms = 120'000;
+  const farm::FarmReport control_report = farm::run_farm(workload, configs, control);
+  print_report(control_report);
+  farm::write_sweep_artifacts(out_dir + "/control", control_report);
+  check(control_report.all_ok(), "control: no quarantine, no interruption");
+  check(slurp(out_dir + "/control/manifest.json") == golden_manifest,
+        "control: manifest byte-identical to golden");
+
+  // --- chaos: the farm shoots at its own workers ---------------------------
+  std::printf("[chaos] farm sweep with SIGKILL/SIGSTOP injection...\n");
+  ExperimentOptions chaos = base_options(out_dir + "/chaos");
+  chaos.farm.workers = 2;
+  chaos.farm.timeout_ms = 120'000;
+  chaos.farm.retries = 8;  // generous: injected faults must never exhaust it
+  chaos.farm.backoff_ms = 10;
+  chaos.farm.chaos_kill_rate = 0.45;
+  chaos.farm.chaos_stop_rate = 0.25;
+  chaos.farm.chaos_delay_ms = 40;       // short enough to land before the worker finishes
+  chaos.farm.chaos_max_injections = 6;  // then let the retries run clean
+  chaos.farm.chaos_seed = 1234;
+  const farm::FarmReport chaos_report = farm::run_farm(workload, configs, chaos);
+  print_report(chaos_report);
+  farm::write_sweep_artifacts(out_dir + "/chaos", chaos_report);
+  check(chaos_report.all_ok(), "chaos: every config completed despite injection");
+  check(chaos_report.stats.chaos_kills + chaos_report.stats.chaos_stops > 0,
+        "chaos: at least one fault was actually injected");
+  check(slurp(out_dir + "/chaos/manifest.json") == golden_manifest,
+        "chaos: manifest byte-identical to golden");
+
+  // --- watchdog: a hung config is contained, retried, quarantined ----------
+  std::printf("[watchdog] one config hangs; timeout -> retry -> quarantine...\n");
+  ExperimentOptions hang = base_options(out_dir + "/watchdog");
+  // Coarse snapshots so healthy workers finish far below the watchdog
+  // timeout even under sanitizers; the hung one ignores SIGTERM and burns
+  // timeout + escalation grace per attempt.
+  hang.checkpoint.interval = 100 * units::kMicrosecond;
+  hang.farm.workers = 2;
+  hang.farm.timeout_ms = 1500;
+  hang.farm.retries = 1;
+  hang.farm.backoff_ms = 50;
+  hang.farm.hang_config = configs.front().name();
+  const farm::FarmReport hang_report = farm::run_farm(workload, configs, hang);
+  print_report(hang_report);
+  farm::write_sweep_artifacts(out_dir + "/watchdog", hang_report);
+  const farm::ConfigOutcome& hung = hang_report.outcomes.front();
+  check(hung.quarantined && hung.final_outcome == farm::ExitClass::Timeout,
+        "watchdog: hung config quarantined as timeout");
+  check(hung.attempts.size() == 2, "watchdog: retry budget honored (2 attempts)");
+  check(hang_report.stats.completed ==
+            static_cast<std::int64_t>(configs.size()) - 1,
+        "watchdog: every other config still completed");
+  check(!slurp(out_dir + "/watchdog/failures.jsonl").empty(),
+        "watchdog: quarantine recorded in failures.jsonl");
+
+  std::printf("chaos selfcheck: %s\n",
+              all_ok ? "PASS (farm recovers to a byte-identical sweep)" : "FAIL");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  try {
+    if (mode == "run" && (argc == 3 || argc == 4))
+      return cmd_run(argv[2], argc == 4 ? argv[3] : "");
+    if (mode == "chaos" && argc == 3) return cmd_chaos(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_farm: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "usage: %s run <out_dir> [config.ini] | chaos <out_dir>\n", argv[0]);
+  return 2;
+}

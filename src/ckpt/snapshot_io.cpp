@@ -1,7 +1,12 @@
 #include "ckpt/snapshot_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -75,29 +80,49 @@ void Reader::need(std::size_t n) const {
 
 void write_snapshot_file(const std::string& path, SnapshotKind kind, const std::string& payload) {
   namespace fs = std::filesystem;
+  // Frame the whole file in memory first: one write_fully below, and the CRC
+  // is computed before any byte touches the disk.
+  std::string frame;
+  frame.reserve(sizeof kMagic + 4 + 4 + 1 + 8 + payload.size() + 4);
+  frame.append(kMagic, sizeof kMagic);
+  const std::uint32_t version = kFormatVersion;
+  const std::uint32_t order = kByteOrderSentinel;
+  const auto kind_byte = static_cast<std::uint8_t>(kind);
+  const auto payload_size = static_cast<std::uint64_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  frame.append(reinterpret_cast<const char*>(&version), sizeof version);
+  frame.append(reinterpret_cast<const char*>(&order), sizeof order);
+  frame.append(reinterpret_cast<const char*>(&kind_byte), sizeof kind_byte);
+  frame.append(reinterpret_cast<const char*>(&payload_size), sizeof payload_size);
+  frame.append(payload);
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw std::runtime_error("snapshot: cannot open for writing: " + tmp);
-    f.write(kMagic, sizeof kMagic);
-    const std::uint32_t version = kFormatVersion;
-    const std::uint32_t order = kByteOrderSentinel;
-    const auto kind_byte = static_cast<std::uint8_t>(kind);
-    const auto payload_size = static_cast<std::uint64_t>(payload.size());
-    const std::uint32_t crc = crc32(payload.data(), payload.size());
-    f.write(reinterpret_cast<const char*>(&version), sizeof version);
-    f.write(reinterpret_cast<const char*>(&order), sizeof order);
-    f.write(reinterpret_cast<const char*>(&kind_byte), sizeof kind_byte);
-    f.write(reinterpret_cast<const char*>(&payload_size), sizeof payload_size);
-    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    f.write(reinterpret_cast<const char*>(&crc), sizeof crc);
-    // A full disk surfaces here, not as a truncated file at resume time.
-    f.flush();
-    if (!f) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw std::runtime_error("snapshot: write failed (disk full?): " + tmp);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("snapshot: cannot open for writing: " + tmp);
+  const auto fail = [&](const std::string& what) {
+    ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("snapshot: " + what + ": " + tmp);
+  };
+  for (std::size_t off = 0; off < frame.size();) {
+    const ::ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A full disk surfaces here, not as a truncated file at resume time.
+      fail("write failed (disk full?)");
     }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync the data before the rename and the directory after it: only that
+  // order makes the marker durable — a rename alone can survive a crash
+  // while the bytes it points at do not.
+  if (::fsync(fd) != 0) fail("fsync failed");
+  if (::close(fd) != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("snapshot: close failed: " + tmp);
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
@@ -105,6 +130,13 @@ void write_snapshot_file(const std::string& path, SnapshotKind kind, const std::
     fs::remove(tmp, ec);
     throw std::runtime_error("snapshot: cannot rename into place: " + path);
   }
+  std::string dir = fs::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) throw std::runtime_error("snapshot: cannot open parent directory: " + dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) throw std::runtime_error("snapshot: cannot fsync parent directory: " + dir);
 }
 
 std::string read_snapshot_file(const std::string& path, SnapshotKind kind) {

@@ -5,9 +5,10 @@
 //   u64 payload size | payload bytes | u32 CRC-32 of the payload
 //
 // Writer accumulates the payload in memory; write_snapshot_file() frames it
-// and writes atomically (tmp file + rename) with the stream state checked
-// after every flush — a full disk fails loudly at save time, never as a
-// silently truncated snapshot discovered at resume time.
+// and writes atomically AND durably: tmp file, write, fsync(file), rename,
+// fsync(parent directory) — a full disk fails loudly at save time, never as
+// a silently truncated snapshot discovered at resume time, and a snapshot
+// that save_checkpoint returned from survives power loss.
 //
 // Reader parses a validated payload with bounds-checked reads: every count is
 // capped by the bytes actually remaining in the buffer, so a corrupt or
@@ -99,8 +100,9 @@ class Reader {
 };
 
 /// Frames `payload` (header + CRC) and writes it to `path` atomically via a
-/// sibling tmp file + rename. Throws std::runtime_error on any I/O failure,
-/// including a short write detected after flush.
+/// sibling tmp file + rename, fsyncing both the file and its parent
+/// directory so the snapshot is durable once this returns. Throws
+/// std::runtime_error on any I/O failure, including a short write.
 void write_snapshot_file(const std::string& path, SnapshotKind kind, const std::string& payload);
 
 /// Reads and validates a snapshot file: magic, version, byte order, kind,

@@ -142,7 +142,11 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
       engine.run_slice(next);
       if (engine.pending() == 0 || engine.stop_requested() || engine.hit_event_limit()) break;
       ckpt::save_checkpoint(ck.path, parts);
-      if (ck.stop_after > 0 && engine.now() >= ck.stop_after) {
+      // Graceful shutdown (SIGINT/SIGTERM via farm/signals) parks the run at
+      // the snapshot just written, exactly like the stop_after test hook.
+      const bool stop_signaled =
+          ck.stop_flag && ck.stop_flag->load(std::memory_order_relaxed);
+      if (stop_signaled || (ck.stop_after > 0 && engine.now() >= ck.stop_after)) {
         stopped_at_checkpoint = true;
         break;
       }

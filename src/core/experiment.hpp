@@ -4,10 +4,12 @@
 // yields RunMetrics.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "farm/options.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "metrics/collector.hpp"
@@ -52,6 +54,12 @@ struct CheckpointOptions {
   /// taken at or past this time (0 = never). The result then carries
   /// stopped_at_checkpoint instead of tripping the deadlock check.
   SimTime stop_after = 0;
+  /// Cooperative graceful-shutdown hook (src/farm/signals.hpp): polled at
+  /// every checkpoint slice boundary. When the pointee becomes true the run
+  /// flushes one final snapshot and returns with stopped_at_checkpoint — a
+  /// SIGINT/SIGTERMed sweep always resumes instead of recomputing. Runtime
+  /// wiring only; not a config key and never serialized.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   bool active() const { return interval > 0 && !path.empty(); }
 };
@@ -71,6 +79,7 @@ struct ExperimentOptions {
   HealthOptions health;     ///< progress/conservation monitor settings
   TelemetryOptions telemetry;  ///< flight-recorder tracing + run artifacts
   CheckpointOptions checkpoint;  ///< periodic snapshots + resume (src/ckpt/)
+  FarmOptions farm;  ///< process-isolated sweep farm policy (src/farm/)
 };
 
 struct ExperimentResult {

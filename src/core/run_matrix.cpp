@@ -4,15 +4,35 @@
 #include <exception>
 #include <filesystem>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
-#include "ckpt/checkpoint.hpp"
+#include "farm/supervisor.hpp"
+#include "farm/worker.hpp"
 
 namespace dfly {
 
 std::vector<ExperimentResult> run_matrix(const Workload& workload,
                                          const std::vector<ExperimentConfig>& configs,
                                          const ExperimentOptions& options, int threads) {
+  // Farm mode: process isolation, watchdogs, retry/backoff and quarantine
+  // (src/farm/). run_matrix keeps its all-or-nothing contract on top of the
+  // farm's graceful degradation: a quarantined or interrupted config throws
+  // here; callers wanting partial results call farm::run_farm directly.
+  if (options.farm.enabled) {
+    const farm::FarmReport report = farm::run_farm(workload, configs, options);
+    std::vector<ExperimentResult> results;
+    results.reserve(report.outcomes.size());
+    for (const farm::ConfigOutcome& o : report.outcomes) {
+      if (!o.completed)
+        throw std::runtime_error("run_matrix: farm did not complete config " + o.config + " (" +
+                                 std::string(farm::to_string(o.final_outcome)) +
+                                 (o.error.empty() ? "" : ": " + o.error) + ")");
+      results.push_back(o.result);
+    }
+    return results;
+  }
+
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
   threads = std::min<int>(threads, static_cast<int>(configs.size()));
@@ -29,31 +49,18 @@ std::vector<ExperimentResult> run_matrix(const Workload& workload,
 
   auto worker = [&] {
     for (;;) {
+      // Graceful shutdown: once the stop flag is raised, in-flight configs
+      // park at their next snapshot (run_experiment handles that) and no new
+      // ones are claimed — the sweep resumes from the .ckpt/.done markers.
+      if (checkpointing && options.checkpoint.stop_flag &&
+          options.checkpoint.stop_flag->load(std::memory_order_relaxed))
+        return;
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) return;
       try {
-        if (!checkpointing) {
-          results[i] = run_experiment(workload, configs[i], options, &topo);
-          continue;
-        }
-        // Per-config checkpoint file + finished-result marker inside the
-        // checkpoint directory.
-        const fs::path dir(options.checkpoint.path);
-        const std::string name = configs[i].name();
-        const std::string ckpt_path = (dir / (name + ".ckpt")).string();
-        const std::string done_path = (dir / (name + ".done")).string();
-        if (options.checkpoint.resume && fs::exists(done_path)) {
-          results[i] = ckpt::load_result(done_path);
-          continue;
-        }
-        ExperimentOptions per_config = options;
-        per_config.checkpoint.path = ckpt_path;
-        results[i] = run_experiment(workload, configs[i], per_config, &topo);
-        if (!results[i].stopped_at_checkpoint) {
-          ckpt::save_result(done_path, results[i]);
-          std::error_code ec;
-          fs::remove(ckpt_path, ec);  // the marker supersedes the snapshot
-        }
+        results[i] = checkpointing
+                         ? farm::run_sweep_config(workload, configs[i], options, &topo)
+                         : run_experiment(workload, configs[i], options, &topo);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -1,0 +1,206 @@
+#include "farm/manifest.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "ckpt/snapshot_io.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace dfly::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* status_of(const ConfigOutcome& o) {
+  if (o.completed) return "ok";
+  if (o.quarantined) return "quarantined";
+  return "interrupted";
+}
+
+void write_vector_summary(obs::JsonWriter& w, const std::string& key,
+                          const std::vector<double>& samples) {
+  StreamingStats stats;
+  for (const double v : samples) stats.add(v);
+  w.key(key).begin_object();
+  w.field("count", static_cast<std::int64_t>(stats.count()));
+  w.field("sum", stats.count() ? stats.sum() : 0.0);
+  w.field("max", stats.count() ? stats.max() : 0.0);
+  w.field("mean", stats.count() ? stats.mean() : 0.0);
+  w.end_object();
+}
+
+/// CRC-32 + size digest of one per-run artifact file; false if unreadable.
+bool file_digest(const fs::path& path, std::uint32_t& crc, std::uint64_t& bytes) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string data(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>{});
+  crc = ckpt::crc32(data.data(), data.size());
+  bytes = data.size();
+  return true;
+}
+
+/// The merged view of one completed run: every simulation-determined field of
+/// ExperimentResult (never paths or wall-clock values — manifest bytes must
+/// not depend on where or how bumpily the run executed).
+void write_result_record(obs::JsonWriter& w, const ExperimentResult& r) {
+  const RunMetrics& m = r.metrics;
+  w.field("makespan_ms", m.makespan_ms);
+  w.field("median_comm_ms", m.median_comm_ms());
+  w.field("max_comm_ms", m.max_comm_ms());
+  w.field("events", m.events);
+  w.field("chunks", m.chunks);
+  w.field("bytes_delivered", m.bytes_delivered);
+  w.field("background_bytes", r.background_bytes);
+  w.field("hit_event_limit", r.hit_event_limit);
+  w.field("stalled", r.stalled);
+  w.field("conservation_ok", r.conservation_ok);
+  w.field("bytes_dropped", r.bytes_dropped);
+  w.field("bytes_retransmitted", r.bytes_retransmitted);
+  w.field("faults_fired", std::int64_t{r.faults_fired});
+  w.field("trace_chunks_seen", r.trace_chunks_seen);
+  w.field("trace_chunks_sampled", r.trace_chunks_sampled);
+
+  w.key("comm_time_ms").begin_object();
+  w.field("count", static_cast<std::int64_t>(m.comm_time_ms.size()));
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 100.0})
+    w.field("p" + std::to_string(static_cast<int>(p)),
+            m.comm_time_ms.empty() ? 0.0 : percentile(m.comm_time_ms, p));
+  w.end_object();
+
+  write_vector_summary(w, "avg_hops", m.avg_hops);
+  write_vector_summary(w, "local_traffic_mb", m.local_traffic_mb);
+  write_vector_summary(w, "global_traffic_mb", m.global_traffic_mb);
+  write_vector_summary(w, "local_saturation_ms", m.local_saturation_ms);
+  write_vector_summary(w, "global_saturation_ms", m.global_saturation_ms);
+
+  const SchedulerStats& s = m.scheduler;
+  w.key("scheduler").begin_object();
+  w.field("buckets", static_cast<std::int64_t>(s.buckets));
+  w.field("bucket_width_ns", s.bucket_width);
+  w.field("peak_pending", static_cast<std::int64_t>(s.peak_pending));
+  w.field("resizes", s.resizes);
+  w.field("overflow_promotions", s.overflow_promotions);
+  w.end_object();
+
+  // Digest the per-run telemetry artifacts into the manifest: the merge is
+  // content-addressed, so a resumed-after-SIGKILL run only matches if its
+  // artifacts are byte-identical too.
+  if (!r.telemetry_dir.empty()) {
+    w.key("artifacts").begin_object();
+    for (const char* name : {"metrics.json", "counters.jsonl", "heatmap.csv"}) {
+      std::uint32_t crc = 0;
+      std::uint64_t bytes = 0;
+      if (!file_digest(fs::path(r.telemetry_dir) / name, crc, bytes)) continue;
+      const std::string key(name);
+      w.field(key + ".crc32", static_cast<std::uint64_t>(crc));
+      w.field(key + ".bytes", bytes);
+    }
+    w.end_object();
+  }
+}
+
+void write_attempt(obs::JsonWriter& w, const AttemptRecord& a) {
+  w.begin_object();
+  w.field("outcome", to_string(a.outcome));
+  w.field("exit_code", a.exit_code);
+  w.field("signal", a.signal);
+  w.field("timed_out", a.timed_out);
+  w.field("resumed", a.resumed);
+  w.field("chaos_killed", a.chaos_killed);
+  w.field("chaos_stopped", a.chaos_stopped);
+  w.field("wall_ms", a.wall_ms);
+  w.field("backoff_ms", a.backoff_ms);
+  w.end_object();
+}
+
+void register_farm_counters(CounterRegistry& registry, const FarmStats& stats) {
+  const auto gauge = [&registry, &stats](const char* name, std::int64_t FarmStats::*field) {
+    registry.add_source(name, MetricKind::Gauge, [&stats, field] { return stats.*field; });
+  };
+  gauge("farm.configs", &FarmStats::configs);
+  gauge("farm.completed", &FarmStats::completed);
+  gauge("farm.quarantined", &FarmStats::quarantined);
+  gauge("farm.interrupted", &FarmStats::interrupted);
+  gauge("farm.attempts", &FarmStats::attempts);
+  gauge("farm.retries", &FarmStats::retries);
+  gauge("farm.resumed_attempts", &FarmStats::resumed_attempts);
+  gauge("farm.timeouts", &FarmStats::timeouts);
+  gauge("farm.crashes", &FarmStats::crashes);
+  gauge("farm.transients", &FarmStats::transients);
+  gauge("farm.sigterm_escalations", &FarmStats::sigterm_escalations);
+  gauge("farm.sigkill_escalations", &FarmStats::sigkill_escalations);
+  gauge("farm.chaos_kills", &FarmStats::chaos_kills);
+  gauge("farm.chaos_stops", &FarmStats::chaos_stops);
+}
+
+}  // namespace
+
+std::string render_manifest(const FarmReport& report) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 2);
+  w.begin_object();
+  w.field("schema", "dfly-farm-manifest-v1");
+  w.field("configs", static_cast<std::int64_t>(report.outcomes.size()));
+  w.key("runs").begin_array();
+  for (const ConfigOutcome& o : report.outcomes) {
+    w.begin_object();
+    w.field("config", o.config);
+    w.field("status", status_of(o));
+    if (o.completed) write_result_record(w, o.result);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string write_sweep_artifacts(const std::string& dir, const FarmReport& report) {
+  fs::create_directories(dir);
+  const std::string manifest_path = (fs::path(dir) / "manifest.json").string();
+  {
+    std::ofstream f(manifest_path, std::ios::trunc);
+    if (!f) throw std::runtime_error("farm: cannot write " + manifest_path);
+    f << render_manifest(report);
+    if (!f.flush()) throw std::runtime_error("farm: write failed: " + manifest_path);
+  }
+  {
+    const std::string path = (fs::path(dir) / "failures.jsonl").string();
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) throw std::runtime_error("farm: cannot write " + path);
+    for (const ConfigOutcome& o : report.outcomes) {
+      if (!o.quarantined) continue;
+      obs::JsonWriter w(f, /*indent=*/0);
+      w.begin_object();
+      w.field("config", o.config);
+      w.field("final", to_string(o.final_outcome));
+      w.field("attempts", static_cast<std::int64_t>(o.attempts.size()));
+      w.field("error", o.error);
+      w.key("history").begin_array();
+      for (const AttemptRecord& a : o.attempts) write_attempt(w, a);
+      w.end_array();
+      w.end_object();
+      f << '\n';
+    }
+    if (!f.flush()) throw std::runtime_error("farm: write failed: " + path);
+  }
+  {
+    // The farm's own counters go through the same registry/snapshot machinery
+    // as simulation counters, so sweep tooling parses one format everywhere.
+    const std::string path = (fs::path(dir) / "farm_stats.json").string();
+    CounterRegistry registry;
+    register_farm_counters(registry, report.stats);
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) throw std::runtime_error("farm: cannot write " + path);
+    write_snapshot_jsonl(f, registry.snapshot(0));
+    if (!f.flush()) throw std::runtime_error("farm: write failed: " + path);
+  }
+  return manifest_path;
+}
+
+}  // namespace dfly::farm

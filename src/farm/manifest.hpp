@@ -1,0 +1,32 @@
+// Machine-readable aggregation of a sweep: one manifest merged from the
+// per-run results plus the quarantine and farm-counter artifacts.
+//
+// Written into the sweep directory:
+//   manifest.json   — one record per config, input order: status + the full
+//                     deterministic result summary, with CRC-32 digests of
+//                     the per-run metrics.json/counters.jsonl artifacts when
+//                     telemetry was on. Contains ONLY simulation-determined
+//                     values, so a chaos-mode farm sweep that recovered from
+//                     kills is byte-identical to a fault-free serial sweep.
+//   failures.jsonl  — one JSON line per quarantined config (attempt history,
+//                     exit classes, error message); written even when empty
+//                     so "is the quarantine empty?" is a file check.
+//   farm_stats.json — farm counters (attempts, retries, timeouts, chaos
+//                     kills, escalations) via an obs CounterRegistry snapshot;
+//                     wall-clock-dependent, deliberately NOT in the manifest.
+#pragma once
+
+#include <string>
+
+#include "farm/supervisor.hpp"
+
+namespace dfly::farm {
+
+/// Renders manifest.json for `report` as a string (the byte-comparable form).
+std::string render_manifest(const FarmReport& report);
+
+/// Writes all three artifacts into `dir` (created if missing). Throws
+/// std::runtime_error on I/O failure. Returns the manifest path.
+std::string write_sweep_artifacts(const std::string& dir, const FarmReport& report);
+
+}  // namespace dfly::farm

@@ -1,0 +1,36 @@
+#include "farm/options.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dfly {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("farm: " + what);
+}
+
+}  // namespace
+
+void FarmOptions::validate() const {
+  if (workers < 1) bad("workers must be >= 1, got " + std::to_string(workers));
+  if (timeout_ms < 1) bad("timeout_ms must be >= 1, got " + std::to_string(timeout_ms));
+  if (retries < 1) bad("retries must be >= 1, got " + std::to_string(retries));
+  if (backoff_ms < 1) bad("backoff_ms must be >= 1, got " + std::to_string(backoff_ms));
+  if (!(backoff_factor >= 1.0))
+    bad("backoff_factor must be >= 1, got " + std::to_string(backoff_factor));
+  if (!(jitter >= 0.0 && jitter <= 1.0))
+    bad("jitter must be in [0, 1], got " + std::to_string(jitter));
+  if (!(chaos_kill_rate >= 0.0 && chaos_kill_rate <= 1.0))
+    bad("chaos_kill_rate must be in [0, 1], got " + std::to_string(chaos_kill_rate));
+  if (!(chaos_stop_rate >= 0.0 && chaos_stop_rate <= 1.0))
+    bad("chaos_stop_rate must be in [0, 1], got " + std::to_string(chaos_stop_rate));
+  if (chaos_kill_rate + chaos_stop_rate > 1.0)
+    bad("chaos_kill_rate + chaos_stop_rate must be <= 1");
+  if (chaos_delay_ms < 1)
+    bad("chaos_delay_ms must be >= 1, got " + std::to_string(chaos_delay_ms));
+  if (chaos_max_injections < -1)
+    bad("chaos_max_injections must be >= -1, got " + std::to_string(chaos_max_injections));
+}
+
+}  // namespace dfly

@@ -1,0 +1,60 @@
+// Configuration of the crash-isolated sweep farm ([farm] section of config
+// files). The farm (src/farm/supervisor.hpp) runs each sweep config in its own
+// worker process with a wall-clock watchdog, retries failed attempts with
+// exponential backoff + jitter, and quarantines configs that exhaust their
+// retry budget. Chaos mode self-tests the recovery machinery by randomly
+// SIGKILLing / SIGSTOPping the farm's own workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfly {
+
+struct FarmOptions {
+  /// run_matrix delegates to the process farm instead of the thread pool.
+  bool enabled = false;
+  /// Concurrent worker processes.
+  int workers = 4;
+  /// Wall-clock watchdog per attempt; a worker past this is SIGTERMed (it
+  /// flushes a final checkpoint and exits) and SIGKILLed after a grace period.
+  std::int64_t timeout_ms = 60'000;
+  /// Retry budget per config: a config gets 1 + retries attempts before it is
+  /// quarantined. Retries resume from the config's .ckpt snapshot if one was
+  /// taken, so work done before the failure is never repeated.
+  int retries = 2;
+  /// First retry delay; attempt n waits backoff_ms * backoff_factor^(n-1),
+  /// capped at kMaxBackoffMs, minus up to `jitter` of itself (decorrelation).
+  std::int64_t backoff_ms = 250;
+  double backoff_factor = 2.0;
+  /// Fraction of the backoff delay randomized away, in [0, 1].
+  double jitter = 0.25;
+
+  // --- chaos self-test mode --------------------------------------------
+  /// Per-attempt probability that the supervisor SIGKILLs (kill_rate) or
+  /// SIGSTOPs (stop_rate) its own worker at a random point within
+  /// chaos_delay_ms of the spawn. A stopped worker makes no progress, so the
+  /// supervisor shortens its watchdog deadline to the injection horizon —
+  /// chaos exercises the full timeout -> SIGCONT+SIGTERM -> checkpoint-flush
+  /// -> resume path without waiting out the real timeout.
+  double chaos_kill_rate = 0.0;
+  double chaos_stop_rate = 0.0;
+  std::int64_t chaos_delay_ms = 200;
+  /// Total injections across the whole sweep; -1 = unlimited.
+  std::int64_t chaos_max_injections = -1;
+  std::uint64_t chaos_seed = 1;
+
+  // --- test-only hooks (not config keys) -------------------------------
+  /// Worker for this config name ignores SIGTERM and hangs forever — the
+  /// deterministic "stuck config" for watchdog/quarantine tests.
+  std::string hang_config;
+  /// Worker for this config name calls abort() on entry — the deterministic
+  /// "crashing config" for exit-classification tests.
+  std::string crash_config;
+
+  /// Throws std::invalid_argument on zero/negative worker counts, timeouts,
+  /// retry budgets or backoff parameters, rates outside [0, 1], etc.
+  void validate() const;
+};
+
+}  // namespace dfly

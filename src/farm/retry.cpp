@@ -1,0 +1,60 @@
+#include "farm/retry.hpp"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dfly::farm {
+
+ExitInfo decode_wait_status(int status) {
+  ExitInfo info;
+  if (WIFEXITED(status)) {
+    info.exited = true;
+    info.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    info.signal = WTERMSIG(status);
+  }
+  return info;
+}
+
+const char* to_string(ExitClass c) {
+  switch (c) {
+    case ExitClass::Ok: return "ok";
+    case ExitClass::Transient: return "transient";
+    case ExitClass::Crash: return "crash";
+    case ExitClass::Timeout: return "timeout";
+    case ExitClass::Permanent: return "permanent";
+    case ExitClass::Interrupted: return "interrupted";
+  }
+  return "?";
+}
+
+ExitClass classify_exit(const ExitInfo& info) {
+  if (info.timed_out) return ExitClass::Timeout;
+  if (!info.exited) return ExitClass::Crash;  // signal death (or lost status)
+  switch (info.code) {
+    case kExitOk: return ExitClass::Ok;
+    case kExitTransient: return ExitClass::Transient;
+    case kExitInterrupted: return ExitClass::Interrupted;
+    case kExitPermanent: return ExitClass::Permanent;
+    default: return ExitClass::Crash;
+  }
+}
+
+std::int64_t backoff_delay_ms(const FarmOptions& options, int failed_attempts,
+                              std::uint64_t salt) {
+  if (failed_attempts < 1) failed_attempts = 1;
+  // Grow in doubles so a large factor/attempt count saturates at the cap
+  // instead of overflowing.
+  double base = static_cast<double>(options.backoff_ms) *
+                std::pow(options.backoff_factor, failed_attempts - 1);
+  base = std::min(base, static_cast<double>(kMaxBackoffMs));
+  Rng rng(salt ^ (static_cast<std::uint64_t>(failed_attempts) * 0x9e3779b97f4a7c15ULL));
+  const double jittered = base * (1.0 - options.jitter * rng.uniform_double());
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(jittered));
+}
+
+}  // namespace dfly::farm

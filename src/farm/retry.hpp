@@ -1,0 +1,69 @@
+// Failure taxonomy and retry/backoff policy of the sweep farm.
+//
+// The supervisor never inspects a raw waitpid() status directly: the status
+// is decoded into an ExitInfo, the ExitInfo is classified into an ExitClass,
+// and the ExitClass alone drives the retry state machine — so the policy is
+// a pure function that unit tests can exercise without forking anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "farm/options.hpp"
+
+namespace dfly::farm {
+
+// Worker exit-code protocol (sysexits.h values where one fits). Anything
+// else — and any signal death — is a crash.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitTransient = 75;    ///< EX_TEMPFAIL: retry me
+inline constexpr int kExitInterrupted = 76;  ///< checkpoint flushed after SIGTERM
+inline constexpr int kExitPermanent = 78;    ///< EX_CONFIG: retrying cannot help
+inline constexpr int kExitCrash = 70;        ///< EX_SOFTWARE: uncaught exception
+
+/// What happened to one worker attempt, in portable terms.
+struct ExitInfo {
+  bool exited = false;    ///< normal exit (WIFEXITED)
+  int code = -1;          ///< exit code when exited
+  int signal = 0;         ///< terminating signal when !exited (WIFSIGNALED)
+  bool timed_out = false; ///< the supervisor's watchdog initiated the kill
+};
+
+/// Decodes a waitpid() status word into ExitInfo (timed_out left false —
+/// only the supervisor knows whether its watchdog fired).
+ExitInfo decode_wait_status(int status);
+
+enum class ExitClass : std::uint8_t {
+  Ok,           ///< finished, result marker written
+  Transient,    ///< retryable by its own admission (kExitTransient)
+  Crash,        ///< signal death or uncaught exception — retried; the retry
+                ///< resumes from the last checkpoint
+  Timeout,      ///< watchdog killed it — retried like a crash
+  Permanent,    ///< invalid config; quarantined immediately, never retried
+  Interrupted,  ///< graceful shutdown flushed a checkpoint; resumable later
+};
+
+const char* to_string(ExitClass c);
+
+/// The classification rule: watchdog timeout wins, then signal death is a
+/// crash, then the exit-code protocol above (unknown nonzero codes count as
+/// crashes — a worker that dies off-protocol is not trusted to self-report).
+ExitClass classify_exit(const ExitInfo& info);
+
+/// True when the class consumes retry budget instead of settling the config.
+inline bool is_retryable(ExitClass c) {
+  return c == ExitClass::Transient || c == ExitClass::Crash || c == ExitClass::Timeout;
+}
+
+/// Backoff ceiling — no retry ever waits longer than this.
+inline constexpr std::int64_t kMaxBackoffMs = 60'000;
+
+/// Delay before retry number `failed_attempts` (1-based: the delay after the
+/// first failure passes 1). Exponential in backoff_factor, capped at
+/// kMaxBackoffMs, then up to options.jitter of it is subtracted using a
+/// deterministic draw from `salt` (hash the config name) — identical inputs
+/// give identical schedules, distinct configs decorrelate.
+std::int64_t backoff_delay_ms(const FarmOptions& options, int failed_attempts,
+                              std::uint64_t salt);
+
+}  // namespace dfly::farm

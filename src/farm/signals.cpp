@@ -1,0 +1,46 @@
+#include "farm/signals.hpp"
+
+#include <csignal>
+
+namespace dfly::farm {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "shutdown flag must be async-signal-safe");
+
+extern "C" void shutdown_signal_handler(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const std::atomic<bool>* shutdown_flag() { return &g_shutdown; }
+
+bool shutdown_requested() { return g_shutdown.load(std::memory_order_relaxed); }
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_relaxed); }
+
+void reset_shutdown_flag() { g_shutdown.store(false, std::memory_order_relaxed); }
+
+struct ScopedShutdownHandlers::Impl {
+  struct sigaction old_int;
+  struct sigaction old_term;
+};
+
+ScopedShutdownHandlers::ScopedShutdownHandlers() : impl_(new Impl{}) {
+  struct sigaction sa {};
+  sa.sa_handler = shutdown_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // interrupted syscalls resume; the flag is polled
+  ::sigaction(SIGINT, &sa, &impl_->old_int);
+  ::sigaction(SIGTERM, &sa, &impl_->old_term);
+}
+
+ScopedShutdownHandlers::~ScopedShutdownHandlers() {
+  ::sigaction(SIGINT, &impl_->old_int, nullptr);
+  ::sigaction(SIGTERM, &impl_->old_term, nullptr);
+  delete impl_;
+}
+
+}  // namespace dfly::farm

@@ -1,0 +1,44 @@
+// Cooperative-shutdown plumbing shared by the farm supervisor, its worker
+// processes and the thread-pool run_matrix.
+//
+// A SIGINT/SIGTERM handler may only set a lock-free atomic flag; everything
+// that takes time — flushing a final checkpoint, writing the .ckpt marker,
+// reaping children — happens on the normal control path, which polls the flag
+// at checkpoint slice boundaries (CheckpointOptions::stop_flag) so an
+// interrupted sweep always resumes instead of recomputing.
+#pragma once
+
+#include <atomic>
+
+namespace dfly::farm {
+
+/// The process-wide shutdown flag. Wire it into
+/// ExperimentOptions::checkpoint.stop_flag to make runs checkpoint-and-stop
+/// on the next slice after a signal.
+const std::atomic<bool>* shutdown_flag();
+
+bool shutdown_requested();
+
+/// What the signal handler does; callable directly from tests.
+void request_shutdown();
+
+/// Clears the flag (a worker child inherits the parent's memory image and
+/// must start with a clean flag; tests reset between cases).
+void reset_shutdown_flag();
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag; the previous
+/// dispositions are restored on destruction. Handlers are process-global —
+/// keep at most one alive at a time.
+class ScopedShutdownHandlers {
+ public:
+  ScopedShutdownHandlers();
+  ~ScopedShutdownHandlers();
+  ScopedShutdownHandlers(const ScopedShutdownHandlers&) = delete;
+  ScopedShutdownHandlers& operator=(const ScopedShutdownHandlers&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace dfly::farm

@@ -1,0 +1,402 @@
+#include "farm/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "ckpt/checkpoint.hpp"
+#include "farm/signals.hpp"
+#include "farm/worker.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dfly::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - since).count();
+}
+
+void sleep_ms(long ms) {
+  timespec ts{ms / 1000, (ms % 1000) * 1'000'000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// FNV-1a over the config name: the per-config jitter salt.
+std::uint64_t name_salt(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : name) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+std::string slurp_error(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return "";
+  std::string s(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>{});
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+std::string describe_exit(const ExitInfo& info) {
+  if (info.timed_out) return "watchdog timeout";
+  if (!info.exited) return "killed by signal " + std::to_string(info.signal);
+  return "exit code " + std::to_string(info.code);
+}
+
+struct Slot {
+  enum class State { Ready, Running, Done };
+  State state = State::Ready;
+  std::int64_t ready_at = 0;  ///< ms on the supervisor clock; backoff gate
+  int attempts_used = 0;
+
+  pid_t pid = -1;
+  std::int64_t spawned_at = 0;
+  std::int64_t deadline = 0;
+  bool term_sent = false;
+  bool kill_sent = false;
+  std::int64_t kill_at = 0;
+  bool timed_out = false;
+  bool resumed = false;
+
+  bool inject_pending = false;
+  bool inject_stop = false;
+  std::int64_t inject_at = 0;
+  bool chaos_killed = false;
+  bool chaos_stopped = false;
+};
+
+class Supervisor {
+ public:
+  Supervisor(const Workload& workload, const std::vector<ExperimentConfig>& configs,
+             const ExperimentOptions& options)
+      : workload_(workload),
+        configs_(configs),
+        options_(options),
+        farm_(options.farm),
+        dir_(options.checkpoint.path),
+        chaos_rng_(farm_.chaos_seed),
+        chaos_left_(farm_.chaos_max_injections),
+        start_(Clock::now()) {
+    report_.outcomes.resize(configs.size());
+    slots_.resize(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      report_.outcomes[i].config = configs[i].name();
+    report_.stats.configs = static_cast<std::int64_t>(configs.size());
+  }
+
+  FarmReport run() {
+    fs::create_directories(dir_);
+    reset_shutdown_flag();
+    ScopedShutdownHandlers handlers;
+    while (!finished()) {
+      if (!draining_ && shutdown_requested()) begin_drain();
+      reap();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].state != Slot::State::Running) continue;
+        inject_chaos(slots_[i]);
+        enforce_watchdog(slots_[i]);
+      }
+      if (!draining_) spawn_ready();
+      if (draining_) settle_unstarted();
+      if (!finished()) sleep_ms(2);
+    }
+    report_.interrupted = draining_;
+    for (const ConfigOutcome& o : report_.outcomes) {
+      report_.stats.completed += o.completed ? 1 : 0;
+      report_.stats.quarantined += o.quarantined ? 1 : 0;
+      report_.stats.interrupted += o.interrupted ? 1 : 0;
+    }
+    return std::move(report_);
+  }
+
+ private:
+  std::int64_t now() const { return elapsed_ms(start_); }
+
+  bool finished() const {
+    for (const Slot& s : slots_)
+      if (s.state != Slot::State::Done) return false;
+    return true;
+  }
+
+  void begin_drain() {
+    draining_ = true;
+    log_warn("farm: shutdown requested; draining workers (the sweep resumes from .ckpt)");
+    const std::int64_t grace = std::min<std::int64_t>(2000, farm_.timeout_ms);
+    for (Slot& s : slots_) {
+      if (s.state != Slot::State::Running || s.term_sent) continue;
+      ::kill(s.pid, SIGCONT);
+      ::kill(s.pid, SIGTERM);
+      s.term_sent = true;  // graceful: timed_out stays false
+      s.kill_at = now() + grace;
+    }
+  }
+
+  /// During a drain, configs never started (or parked in backoff) settle as
+  /// interrupted — resumable by the next farm run, not failures.
+  void settle_unstarted() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state != Slot::State::Ready) continue;
+      slots_[i].state = Slot::State::Done;
+      report_.outcomes[i].interrupted = true;
+      report_.outcomes[i].final_outcome = ExitClass::Interrupted;
+    }
+  }
+
+  void spawn_ready() {
+    int running = 0;
+    for (const Slot& s : slots_)
+      running += s.state == Slot::State::Running ? 1 : 0;
+    for (std::size_t i = 0; i < slots_.size() && running < farm_.workers; ++i) {
+      Slot& slot = slots_[i];
+      if (slot.state != Slot::State::Ready || slot.ready_at > now()) continue;
+      if (spawn(i)) ++running;
+    }
+  }
+
+  bool spawn(std::size_t i) {
+    Slot& slot = slots_[i];
+    ConfigOutcome& outcome = report_.outcomes[i];
+    const std::string name = configs_[i].name();
+    const bool resume = options_.checkpoint.resume || slot.attempts_used > 0;
+
+    // A previous attempt may have written its .done marker and died before
+    // exiting cleanly (e.g. a chaos SIGKILL in the final instants); the work
+    // is finished, so settle instead of respawning.
+    if (resume && fs::exists(sweep_done_path(dir_, name))) {
+      try {
+        outcome.result = ckpt::load_result(sweep_done_path(dir_, name));
+        outcome.completed = true;
+        outcome.final_outcome = ExitClass::Ok;
+        slot.state = Slot::State::Done;
+        return false;
+      } catch (const std::exception&) {
+        std::error_code ec;
+        fs::remove(sweep_done_path(dir_, name), ec);  // torn marker: re-run
+      }
+    }
+
+    std::error_code ec;
+    fs::remove(sweep_err_path(dir_, name), ec);  // stale message from last attempt
+
+    ExperimentOptions attempt_options = options_;
+    attempt_options.checkpoint.resume = resume;
+    slot.resumed = resume && fs::exists(sweep_ckpt_path(dir_, name));
+
+    // Chaos draw happens before fork so the schedule depends only on
+    // chaos_seed and the spawn order, never on child behavior.
+    slot.inject_pending = false;
+    slot.chaos_killed = slot.chaos_stopped = false;
+    if (chaos_left_ != 0 && (farm_.chaos_kill_rate > 0 || farm_.chaos_stop_rate > 0)) {
+      const double u = chaos_rng_.uniform_double();
+      if (u < farm_.chaos_kill_rate + farm_.chaos_stop_rate) {
+        slot.inject_pending = true;
+        slot.inject_stop = u >= farm_.chaos_kill_rate;
+        slot.inject_at =
+            now() + static_cast<std::int64_t>(chaos_rng_.uniform(
+                        static_cast<std::uint64_t>(farm_.chaos_delay_ms) + 1));
+      }
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      slot.ready_at = now() + 100;  // EAGAIN etc: try again shortly
+      return false;
+    }
+    if (pid == 0) {
+      // Child: run the config and report through the exit-code protocol.
+      // _exit skips static destructors the parent still owns.
+      ::_exit(worker_main(workload_, configs_[i], attempt_options));
+    }
+    slot.pid = pid;
+    slot.state = Slot::State::Running;
+    slot.spawned_at = now();
+    slot.deadline = now() + farm_.timeout_ms;
+    slot.term_sent = slot.kill_sent = slot.timed_out = false;
+    if (slot.resumed) ++report_.stats.resumed_attempts;
+    return true;
+  }
+
+  void inject_chaos(Slot& slot) {
+    if (!slot.inject_pending || slot.term_sent || now() < slot.inject_at) return;
+    slot.inject_pending = false;
+    const int sig = slot.inject_stop ? SIGSTOP : SIGKILL;
+    if (::kill(slot.pid, sig) != 0) return;  // already exited: injection misses
+    if (chaos_left_ > 0) --chaos_left_;
+    if (slot.inject_stop) {
+      slot.chaos_stopped = true;
+      ++report_.stats.chaos_stops;
+      // A stopped worker makes no progress; pull the watchdog in so the
+      // self-test exercises the timeout path without waiting out the full
+      // budget.
+      slot.deadline = std::min(slot.deadline, now() + farm_.chaos_delay_ms);
+    } else {
+      slot.chaos_killed = true;
+      ++report_.stats.chaos_kills;
+    }
+  }
+
+  void enforce_watchdog(Slot& slot) {
+    if (!slot.term_sent && now() >= slot.deadline) {
+      slot.timed_out = true;
+      slot.term_sent = true;
+      ::kill(slot.pid, SIGCONT);  // a SIGSTOPped worker must wake to see TERM
+      ::kill(slot.pid, SIGTERM);
+      slot.kill_at = now() + std::min<std::int64_t>(2000, farm_.timeout_ms);
+      ++report_.stats.sigterm_escalations;
+    } else if (slot.term_sent && !slot.kill_sent && now() >= slot.kill_at) {
+      slot.kill_sent = true;
+      ::kill(slot.pid, SIGKILL);
+      ++report_.stats.sigkill_escalations;
+    }
+  }
+
+  void reap() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.state != Slot::State::Running) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid) finalize_attempt(i, status);
+    }
+  }
+
+  void finalize_attempt(std::size_t i, int status) {
+    Slot& slot = slots_[i];
+    ConfigOutcome& outcome = report_.outcomes[i];
+    const std::string name = configs_[i].name();
+
+    ExitInfo info = decode_wait_status(status);
+    info.timed_out = slot.timed_out;
+    ExitClass cls = classify_exit(info);
+
+    if (cls == ExitClass::Ok) {
+      try {
+        outcome.result = ckpt::load_result(sweep_done_path(dir_, name));
+      } catch (const std::exception&) {
+        cls = ExitClass::Crash;  // exit 0 without a valid marker: off-protocol
+      }
+    }
+
+    ++slot.attempts_used;
+    ++report_.stats.attempts;
+    AttemptRecord record;
+    record.outcome = cls;
+    record.exit_code = info.exited ? info.code : -1;
+    record.signal = info.signal;
+    record.timed_out = info.timed_out;
+    record.resumed = slot.resumed;
+    record.chaos_killed = slot.chaos_killed;
+    record.chaos_stopped = slot.chaos_stopped;
+    record.wall_ms = now() - slot.spawned_at;
+
+    switch (cls) {
+      case ExitClass::Timeout: ++report_.stats.timeouts; break;
+      case ExitClass::Crash: ++report_.stats.crashes; break;
+      case ExitClass::Transient: ++report_.stats.transients; break;
+      default: break;
+    }
+
+    outcome.final_outcome = cls;
+    slot.pid = -1;
+    slot.state = Slot::State::Done;
+
+    if (cls == ExitClass::Ok) {
+      outcome.completed = true;
+    } else if (draining_) {
+      // Whatever ended this attempt, the farm is shutting down: the config is
+      // resumable, not condemned.
+      outcome.interrupted = true;
+      outcome.final_outcome = ExitClass::Interrupted;
+    } else if (cls == ExitClass::Permanent) {
+      quarantine(i, info, record);
+    } else {
+      // Transient, Crash, Timeout — and a stray Interrupted (someone TERMed
+      // the worker under us): all retryable against the budget.
+      if (slot.attempts_used >= 1 + farm_.retries) {
+        quarantine(i, info, record);
+      } else {
+        record.backoff_ms = backoff_delay_ms(farm_, slot.attempts_used, name_salt(name));
+        slot.state = Slot::State::Ready;
+        slot.ready_at = now() + record.backoff_ms;
+        ++report_.stats.retries;
+      }
+    }
+    outcome.attempts.push_back(record);
+  }
+
+  void quarantine(std::size_t i, const ExitInfo& info, const AttemptRecord&) {
+    ConfigOutcome& outcome = report_.outcomes[i];
+    const std::string name = configs_[i].name();
+    outcome.quarantined = true;
+    outcome.error = slurp_error(sweep_err_path(dir_, name));
+    if (outcome.error.empty()) outcome.error = describe_exit(info);
+    log_warn("farm: quarantined " + name + " after " +
+             std::to_string(slots_[i].attempts_used) + " attempt(s): " + outcome.error);
+  }
+
+  const Workload& workload_;
+  const std::vector<ExperimentConfig>& configs_;
+  const ExperimentOptions& options_;
+  const FarmOptions& farm_;
+  const std::string dir_;
+  Rng chaos_rng_;
+  std::int64_t chaos_left_;  ///< remaining injections; -1 = unlimited
+  Clock::time_point start_;
+  std::vector<Slot> slots_;
+  FarmReport report_;
+  bool draining_ = false;
+};
+
+}  // namespace
+
+bool FarmReport::all_ok() const {
+  return !interrupted && stats.quarantined == 0 &&
+         stats.completed == static_cast<std::int64_t>(outcomes.size());
+}
+
+std::vector<ExperimentResult> FarmReport::results() const {
+  std::vector<ExperimentResult> out;
+  out.reserve(outcomes.size());
+  for (const ConfigOutcome& o : outcomes)
+    if (o.completed) out.push_back(o.result);
+  return out;
+}
+
+FarmReport run_farm(const Workload& workload, const std::vector<ExperimentConfig>& configs,
+                    const ExperimentOptions& options) {
+  options.farm.validate();
+  if (options.checkpoint.path.empty())
+    throw std::invalid_argument(
+        "farm: options.checkpoint.path must name the sweep directory");
+  Supervisor supervisor(workload, configs, options);
+  return supervisor.run();
+}
+
+FarmReport report_from_results(const std::vector<ExperimentResult>& results) {
+  FarmReport report;
+  report.stats.configs = static_cast<std::int64_t>(results.size());
+  report.stats.completed = report.stats.configs;
+  report.outcomes.reserve(results.size());
+  for (const ExperimentResult& r : results) {
+    ConfigOutcome o;
+    o.config = r.config;
+    o.completed = true;
+    o.result = r;
+    report.outcomes.push_back(std::move(o));
+  }
+  return report;
+}
+
+}  // namespace dfly::farm

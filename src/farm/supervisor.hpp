@@ -1,0 +1,101 @@
+// The sweep farm: crash-isolated, self-healing execution of a configuration
+// matrix.
+//
+// Each config runs in a forked worker process, so a crash, sanitizer abort or
+// OOM kill is contained and classified instead of taking down the sweep. The
+// supervisor enforces a per-attempt wall-clock watchdog (SIGCONT+SIGTERM so a
+// responsive worker flushes a final checkpoint, SIGKILL after a grace
+// period), retries transient/crash/timeout failures with exponential backoff
+// + jitter — resuming from the config's .ckpt snapshot instead of restarting
+// — and quarantines configs that exhaust the retry budget while the rest of
+// the matrix completes. Chaos mode randomly SIGKILLs/SIGSTOPs the farm's own
+// workers to self-test exactly this machinery (examples/sweep_farm chaos
+// asserts the aggregated manifest is byte-identical to a fault-free serial
+// sweep).
+//
+// run_farm forks; call it from a single-threaded process (examples, tests,
+// sweep drivers), never while other threads hold locks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "farm/retry.hpp"
+
+namespace dfly::farm {
+
+/// One worker attempt, as observed by the supervisor.
+struct AttemptRecord {
+  ExitClass outcome = ExitClass::Ok;
+  int exit_code = -1;          ///< worker exit code (normal exits)
+  int signal = 0;              ///< terminating signal (signal deaths)
+  bool timed_out = false;      ///< the watchdog initiated the kill
+  bool resumed = false;        ///< a .ckpt snapshot existed at spawn
+  bool chaos_killed = false;   ///< chaos mode SIGKILLed this attempt
+  bool chaos_stopped = false;  ///< chaos mode SIGSTOPped this attempt
+  std::int64_t wall_ms = 0;
+  std::int64_t backoff_ms = 0;  ///< delay scheduled before the next attempt
+};
+
+/// Final state of one config after the farm is done with it. Exactly one of
+/// completed / quarantined / interrupted is set.
+struct ConfigOutcome {
+  std::string config;
+  ExitClass final_outcome = ExitClass::Ok;
+  bool completed = false;
+  bool quarantined = false;   ///< retry budget exhausted or permanent failure
+  bool interrupted = false;   ///< graceful shutdown before completion; resumable
+  std::string error;          ///< worker's .err message or a signal description
+  std::vector<AttemptRecord> attempts;
+  ExperimentResult result;    ///< valid when completed
+};
+
+/// Farm-level counters; exported to farm_stats.json via an obs
+/// CounterRegistry (src/farm/manifest.hpp) and never part of manifest.json —
+/// wall-clock-dependent values must not break manifest byte-identity.
+struct FarmStats {
+  std::int64_t configs = 0;
+  std::int64_t completed = 0;
+  std::int64_t quarantined = 0;
+  std::int64_t interrupted = 0;
+  std::int64_t attempts = 0;
+  std::int64_t retries = 0;
+  std::int64_t resumed_attempts = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t crashes = 0;
+  std::int64_t transients = 0;
+  std::int64_t sigterm_escalations = 0;
+  std::int64_t sigkill_escalations = 0;
+  std::int64_t chaos_kills = 0;
+  std::int64_t chaos_stops = 0;
+};
+
+struct FarmReport {
+  std::vector<ConfigOutcome> outcomes;  ///< in the input configs order
+  FarmStats stats;
+  bool interrupted = false;  ///< SIGINT/SIGTERM drained the farm early
+
+  /// Every config completed (nothing quarantined, nothing interrupted).
+  bool all_ok() const;
+  /// Results of the completed configs, in outcomes order.
+  std::vector<ExperimentResult> results() const;
+};
+
+/// Runs the matrix under process supervision. options.checkpoint.path names
+/// the sweep directory (required; created if missing) holding the per-config
+/// .ckpt/.done/.err files; options.farm holds worker count, watchdog timeout,
+/// retry/backoff policy and chaos knobs (options.farm.validate() is called).
+/// Graceful degradation by design: quarantined configs are reported, never
+/// thrown; the only exceptions are bad arguments and supervisor-side I/O
+/// failures.
+FarmReport run_farm(const Workload& workload, const std::vector<ExperimentConfig>& configs,
+                    const ExperimentOptions& options);
+
+/// Wraps plain run_matrix/run_experiment results as an all-ok FarmReport —
+/// the fault-free serial baseline whose aggregated manifest the chaos
+/// self-test byte-compares against.
+FarmReport report_from_results(const std::vector<ExperimentResult>& results);
+
+}  // namespace dfly::farm

@@ -1,0 +1,98 @@
+#include "farm/worker.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "ckpt/checkpoint.hpp"
+#include "farm/retry.hpp"
+#include "farm/signals.hpp"
+
+namespace dfly::farm {
+
+namespace fs = std::filesystem;
+
+std::string sweep_ckpt_path(const std::string& dir, const std::string& config_name) {
+  return (fs::path(dir) / (config_name + ".ckpt")).string();
+}
+
+std::string sweep_done_path(const std::string& dir, const std::string& config_name) {
+  return (fs::path(dir) / (config_name + ".done")).string();
+}
+
+std::string sweep_err_path(const std::string& dir, const std::string& config_name) {
+  return (fs::path(dir) / (config_name + ".err")).string();
+}
+
+ExperimentResult run_sweep_config(const Workload& workload, const ExperimentConfig& config,
+                                  const ExperimentOptions& sweep_options,
+                                  const DragonflyTopology* shared_topo) {
+  const std::string& dir = sweep_options.checkpoint.path;
+  if (dir.empty())
+    throw std::invalid_argument("farm: sweep checkpoint.path (directory) must be set");
+  const std::string name = config.name();
+  const std::string ckpt_path = sweep_ckpt_path(dir, name);
+  const std::string done_path = sweep_done_path(dir, name);
+  if (sweep_options.checkpoint.resume && fs::exists(done_path))
+    return ckpt::load_result(done_path);
+  ExperimentOptions per_config = sweep_options;
+  per_config.checkpoint.path = ckpt_path;
+  ExperimentResult result = run_experiment(workload, config, per_config, shared_topo);
+  if (!result.stopped_at_checkpoint) {
+    ckpt::save_result(done_path, result);
+    std::error_code ec;
+    fs::remove(ckpt_path, ec);  // the marker supersedes the snapshot
+  }
+  return result;
+}
+
+namespace {
+
+void write_error_file(const ExperimentOptions& options, const std::string& config_name,
+                      const std::string& message) {
+  if (options.checkpoint.path.empty()) return;
+  std::ofstream f(sweep_err_path(options.checkpoint.path, config_name), std::ios::trunc);
+  f << message << '\n';
+}
+
+}  // namespace
+
+int worker_main(const Workload& workload, const ExperimentConfig& config,
+                const ExperimentOptions& sweep_options) noexcept {
+  const std::string name = config.name();
+  try {
+    // A fresh flag (the fork copied the parent's) and our own handlers: a
+    // watchdog SIGTERM lands here, the run notices at the next checkpoint
+    // slice, flushes a snapshot and we exit kExitInterrupted below.
+    reset_shutdown_flag();
+    ScopedShutdownHandlers handlers;
+    ExperimentOptions options = sweep_options;
+    options.checkpoint.stop_flag = shutdown_flag();
+
+    // Deterministic misbehavior hooks for the chaos/watchdog self-tests.
+    if (!options.farm.crash_config.empty() && options.farm.crash_config == name)
+      std::abort();
+    if (!options.farm.hang_config.empty() && options.farm.hang_config == name) {
+      for (;;) ::pause();  // ignores the flag on purpose: an unresponsive worker
+    }
+
+    const ExperimentResult result =
+        run_sweep_config(workload, config, options, /*shared_topo=*/nullptr);
+    return result.stopped_at_checkpoint ? kExitInterrupted : kExitOk;
+  } catch (const std::invalid_argument& e) {
+    write_error_file(sweep_options, name, std::string("invalid config: ") + e.what());
+    return kExitPermanent;
+  } catch (const std::exception& e) {
+    write_error_file(sweep_options, name, e.what());
+    return kExitCrash;
+  } catch (...) {
+    write_error_file(sweep_options, name, "unknown exception");
+    return kExitCrash;
+  }
+}
+
+}  // namespace dfly::farm

@@ -1,0 +1,44 @@
+// Worker side of the farm protocol, plus the per-config sweep step shared
+// with the thread-pool run_matrix.
+//
+// A worker attempt communicates with its supervisor exclusively through the
+// filesystem and its exit code:
+//   <dir>/<config>.ckpt — periodic snapshot (src/ckpt); a retry resumes here
+//   <dir>/<config>.done — CRC-framed ExperimentResult marker on success
+//   <dir>/<config>.err  — human-readable failure message for the quarantine
+//   exit code           — kExitOk / kExitTransient / ... (farm/retry.hpp)
+// Everything is written atomically (tmp + rename + fsync), so a SIGKILL at
+// any instant leaves either the previous attempt's state or the new one,
+// never a torn file.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dfly::farm {
+
+/// Per-config file names inside a sweep checkpoint directory.
+std::string sweep_ckpt_path(const std::string& dir, const std::string& config_name);
+std::string sweep_done_path(const std::string& dir, const std::string& config_name);
+std::string sweep_err_path(const std::string& dir, const std::string& config_name);
+
+/// Runs one config of a sweep with the .ckpt/.done marker protocol:
+/// with checkpoint.resume set, a .done marker short-circuits to the stored
+/// result and a .ckpt resumes mid-run; on completion the .done marker is
+/// written and the superseded .ckpt removed. `sweep_options.checkpoint.path`
+/// names the sweep DIRECTORY (must be non-empty). Used by both run_matrix's
+/// thread pool and the farm's worker processes — one code path, two
+/// isolation models.
+ExperimentResult run_sweep_config(const Workload& workload, const ExperimentConfig& config,
+                                  const ExperimentOptions& sweep_options,
+                                  const DragonflyTopology* shared_topo);
+
+/// Child-process entry point: installs SIGTERM/SIGINT handlers wired to the
+/// checkpoint stop flag, runs run_sweep_config, maps the outcome to the exit
+/// code protocol, and writes <config>.err on failure. Never throws; the
+/// caller should pass the return value straight to _exit().
+int worker_main(const Workload& workload, const ExperimentConfig& config,
+                const ExperimentOptions& sweep_options) noexcept;
+
+}  // namespace dfly::farm

@@ -1,8 +1,10 @@
 #include "obs/counters.hpp"
 
+#include <ostream>
 #include <stdexcept>
 
 #include "ckpt/snapshot_io.hpp"
+#include "obs/json.hpp"
 
 namespace dfly {
 
@@ -24,6 +26,15 @@ bool CounterSnapshot::contains(const std::string& name) const {
   for (const auto& [n, v] : values)
     if (n == name) return true;
   return false;
+}
+
+void write_snapshot_jsonl(std::ostream& os, const CounterSnapshot& snap) {
+  obs::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.field("time_ns", snap.time);
+  for (const auto& [name, value] : snap.values) w.field(name, value);
+  w.end_object();
+  os << '\n';
 }
 
 std::uint64_t& CounterRegistry::counter(const std::string& name) {

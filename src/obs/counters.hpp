@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <utility>
@@ -70,6 +71,12 @@ class CounterRegistry {
   std::map<std::string, Entry> entries_;
   std::deque<std::uint64_t> cells_;
 };
+
+/// Serializes one snapshot as a single compact JSON object line ("time_ns"
+/// first, then every metric by name) followed by a newline — the line format
+/// of counters.jsonl, shared by the telemetry exporter and the sweep farm's
+/// farm_stats.json so every counter artifact parses the same way.
+void write_snapshot_jsonl(std::ostream& os, const CounterSnapshot& snap);
 
 /// Periodic snapshot probe: samples `registry` every `interval` once started.
 /// Stops rescheduling after request_stop() (pending probes would otherwise be

@@ -233,14 +233,7 @@ bool write_counters_jsonl(const std::string& path,
                           const std::vector<CounterSnapshot>& snapshots) {
   std::ofstream f(path);
   if (!f) return false;
-  for (const CounterSnapshot& snap : snapshots) {
-    obs::JsonWriter w(f, /*indent=*/0);
-    w.begin_object();
-    w.field("time_ns", snap.time);
-    for (const auto& [name, value] : snap.values) w.field(name, value);
-    w.end_object();
-    f << '\n';
-  }
+  for (const CounterSnapshot& snap : snapshots) write_snapshot_jsonl(f, snap);
   return static_cast<bool>(f);
 }
 

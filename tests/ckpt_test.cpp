@@ -91,6 +91,35 @@ TEST(SnapshotIo, DirectoryPathIsRejectedCleanly) {
   fs::remove_all(dir);
 }
 
+TEST(SnapshotIo, WriteFailureThrowsInsteadOfLeavingATornFile) {
+  // The durable write path (tmp + fsync + rename + dir fsync) must fail
+  // loudly at save time. Point the snapshot inside a "directory" that is
+  // actually a regular file: the tmp open fails, and no stray file appears.
+  const std::string not_a_dir = temp_path("not-a-dir");
+  spit(not_a_dir, "plain file");
+  const std::string path = not_a_dir + "/x.ckpt";
+  ckpt::Writer w;
+  w.u32(7);
+  EXPECT_THROW(ckpt::write_snapshot_file(path, ckpt::SnapshotKind::SimState, w.buffer()),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::remove(not_a_dir.c_str());
+}
+
+TEST(SnapshotIo, RenameFailureCleansUpTheTmpFile) {
+  // Write succeeds but the rename target is occupied by a non-empty
+  // directory: the tmp file must be removed, not leaked.
+  const std::string target = temp_path("occupied");
+  fs::create_directories(target + "/inner");
+  ckpt::Writer w;
+  w.u32(7);
+  EXPECT_THROW(ckpt::write_snapshot_file(target, ckpt::SnapshotKind::SimState, w.buffer()),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(target + ".tmp")) << "failed write leaked its tmp file";
+  fs::remove_all(target);
+}
+
 TEST(SnapshotIo, MissingFileThrows) {
   EXPECT_THROW(ckpt::read_snapshot_file("/nonexistent/dir/x.ckpt", ckpt::SnapshotKind::SimState),
                std::runtime_error);

@@ -1,0 +1,387 @@
+// Sweep-farm tests: the pure retry/classification policy (no forking), option
+// validation, and the full supervisor — chaos kill recovery, watchdog
+// quarantine of a hung worker, crash containment, and graceful shutdown with
+// checkpoint-based resume. Process-spawning tests use the tiny topology so
+// each worker attempt completes in well under a second.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/run_matrix.hpp"
+#include "farm/manifest.hpp"
+#include "farm/retry.hpp"
+#include "farm/signals.hpp"
+#include "farm/supervisor.hpp"
+#include "farm/worker.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+namespace fs = std::filesystem;
+using farm::ExitClass;
+using farm::ExitInfo;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Exit decoding and classification (pure; no processes)
+// ---------------------------------------------------------------------------
+
+/// Forks a child that runs `die` and returns the decoded waitpid status —
+/// decode_wait_status is exercised against real kernel status words, not a
+/// hand-built encoding.
+ExitInfo reap_child(void (*die)()) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    die();
+    ::_exit(99);  // unreachable for signal deaths
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return farm::decode_wait_status(status);
+}
+
+TEST(FarmExit, DecodesNormalExit) {
+  const ExitInfo info = reap_child(+[] { ::_exit(farm::kExitTransient); });
+  EXPECT_TRUE(info.exited);
+  EXPECT_EQ(info.code, farm::kExitTransient);
+  EXPECT_EQ(info.signal, 0);
+  EXPECT_FALSE(info.timed_out);
+}
+
+TEST(FarmExit, DecodesSignalDeath) {
+  const ExitInfo info = reap_child(+[] { ::raise(SIGKILL); });
+  EXPECT_FALSE(info.exited);
+  EXPECT_EQ(info.signal, SIGKILL);
+}
+
+ExitInfo exited_with(int code) {
+  ExitInfo info;
+  info.exited = true;
+  info.code = code;
+  return info;
+}
+
+TEST(FarmExit, ClassificationFollowsTheProtocol) {
+  EXPECT_EQ(farm::classify_exit(exited_with(farm::kExitOk)), ExitClass::Ok);
+  EXPECT_EQ(farm::classify_exit(exited_with(farm::kExitTransient)), ExitClass::Transient);
+  EXPECT_EQ(farm::classify_exit(exited_with(farm::kExitInterrupted)), ExitClass::Interrupted);
+  EXPECT_EQ(farm::classify_exit(exited_with(farm::kExitPermanent)), ExitClass::Permanent);
+  EXPECT_EQ(farm::classify_exit(exited_with(farm::kExitCrash)), ExitClass::Crash);
+  // Off-protocol exit codes are not trusted to self-report: crash.
+  EXPECT_EQ(farm::classify_exit(exited_with(1)), ExitClass::Crash);
+  EXPECT_EQ(farm::classify_exit(exited_with(137)), ExitClass::Crash);
+}
+
+TEST(FarmExit, SignalDeathIsACrash) {
+  ExitInfo info;
+  info.signal = SIGSEGV;
+  EXPECT_EQ(farm::classify_exit(info), ExitClass::Crash);
+}
+
+TEST(FarmExit, WatchdogTimeoutWinsOverEverything) {
+  // The watchdog's SIGTERM may land as a clean kExitInterrupted (the worker
+  // flushed a checkpoint) or as a SIGKILL death — both must classify as
+  // Timeout so the retry resumes instead of treating the attempt as settled.
+  ExitInfo terminated = exited_with(farm::kExitInterrupted);
+  terminated.timed_out = true;
+  EXPECT_EQ(farm::classify_exit(terminated), ExitClass::Timeout);
+  ExitInfo killed;
+  killed.signal = SIGKILL;
+  killed.timed_out = true;
+  EXPECT_EQ(farm::classify_exit(killed), ExitClass::Timeout);
+}
+
+TEST(FarmExit, RetryabilityPerClass) {
+  EXPECT_FALSE(farm::is_retryable(ExitClass::Ok));
+  EXPECT_TRUE(farm::is_retryable(ExitClass::Transient));
+  EXPECT_TRUE(farm::is_retryable(ExitClass::Crash));
+  EXPECT_TRUE(farm::is_retryable(ExitClass::Timeout));
+  EXPECT_FALSE(farm::is_retryable(ExitClass::Permanent));
+  EXPECT_FALSE(farm::is_retryable(ExitClass::Interrupted));
+}
+
+TEST(FarmExit, ToStringCoversEveryClass) {
+  EXPECT_STREQ(farm::to_string(ExitClass::Ok), "ok");
+  EXPECT_STREQ(farm::to_string(ExitClass::Transient), "transient");
+  EXPECT_STREQ(farm::to_string(ExitClass::Crash), "crash");
+  EXPECT_STREQ(farm::to_string(ExitClass::Timeout), "timeout");
+  EXPECT_STREQ(farm::to_string(ExitClass::Permanent), "permanent");
+  EXPECT_STREQ(farm::to_string(ExitClass::Interrupted), "interrupted");
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule
+// ---------------------------------------------------------------------------
+
+TEST(FarmBackoff, GrowsExponentiallyWithoutJitter) {
+  FarmOptions o;
+  o.backoff_ms = 100;
+  o.backoff_factor = 2.0;
+  o.jitter = 0.0;
+  EXPECT_EQ(farm::backoff_delay_ms(o, 1, 7), 100);
+  EXPECT_EQ(farm::backoff_delay_ms(o, 2, 7), 200);
+  EXPECT_EQ(farm::backoff_delay_ms(o, 3, 7), 400);
+  EXPECT_EQ(farm::backoff_delay_ms(o, 4, 7), 800);
+}
+
+TEST(FarmBackoff, CapsAtSixtySeconds) {
+  FarmOptions o;
+  o.backoff_ms = 1000;
+  o.backoff_factor = 10.0;
+  o.jitter = 0.0;
+  EXPECT_EQ(farm::backoff_delay_ms(o, 3, 0), farm::kMaxBackoffMs);
+  EXPECT_EQ(farm::backoff_delay_ms(o, 30, 0), farm::kMaxBackoffMs);
+}
+
+TEST(FarmBackoff, JitterStaysInsideItsBandAndIsDeterministic) {
+  FarmOptions o;
+  o.backoff_ms = 1000;
+  o.backoff_factor = 2.0;
+  o.jitter = 0.5;
+  bool varies = false;
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    const std::int64_t d = farm::backoff_delay_ms(o, 2, salt);
+    EXPECT_GE(d, 1000);  // base 2000, jitter subtracts at most half
+    EXPECT_LE(d, 2000);
+    EXPECT_EQ(d, farm::backoff_delay_ms(o, 2, salt)) << "not deterministic for salt " << salt;
+    varies = varies || d != 2000;
+  }
+  EXPECT_TRUE(varies) << "jitter never moved the delay";
+}
+
+TEST(FarmBackoff, NeverReturnsLessThanOneMillisecond) {
+  FarmOptions o;
+  o.backoff_ms = 1;
+  o.backoff_factor = 1.0;
+  o.jitter = 1.0;  // may subtract the whole base
+  for (std::uint64_t salt = 0; salt < 32; ++salt)
+    EXPECT_GE(farm::backoff_delay_ms(o, 1, salt), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Option validation
+// ---------------------------------------------------------------------------
+
+TEST(FarmOptionsTest, DefaultsValidate) { EXPECT_NO_THROW(FarmOptions{}.validate()); }
+
+TEST(FarmOptionsTest, RejectsZeroAndNegativeKnobs) {
+  const auto rejects = [](void (*mutate)(FarmOptions&)) {
+    FarmOptions o;
+    mutate(o);
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  };
+  rejects(+[](FarmOptions& o) { o.workers = 0; });
+  rejects(+[](FarmOptions& o) { o.workers = -2; });
+  rejects(+[](FarmOptions& o) { o.timeout_ms = 0; });
+  rejects(+[](FarmOptions& o) { o.timeout_ms = -1; });
+  rejects(+[](FarmOptions& o) { o.retries = 0; });
+  rejects(+[](FarmOptions& o) { o.retries = -1; });
+  rejects(+[](FarmOptions& o) { o.backoff_ms = 0; });
+  rejects(+[](FarmOptions& o) { o.backoff_factor = 0.99; });
+  rejects(+[](FarmOptions& o) { o.backoff_factor = -2.0; });
+  rejects(+[](FarmOptions& o) { o.jitter = -0.1; });
+  rejects(+[](FarmOptions& o) { o.jitter = 1.1; });
+  rejects(+[](FarmOptions& o) { o.chaos_kill_rate = 1.5; });
+  rejects(+[](FarmOptions& o) { o.chaos_stop_rate = -0.5; });
+  rejects(+[](FarmOptions& o) {  // combined rate above 1: every draw injects twice?
+    o.chaos_kill_rate = 0.7;
+    o.chaos_stop_rate = 0.7;
+  });
+  rejects(+[](FarmOptions& o) { o.chaos_delay_ms = 0; });
+  rejects(+[](FarmOptions& o) { o.chaos_max_injections = -2; });
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor integration
+// ---------------------------------------------------------------------------
+
+Workload farm_workload() { return {"ring", make_ring_trace(24, 32 * units::kKiB, 2)}; }
+
+ExperimentOptions farm_options(const std::string& tag) {
+  ExperimentOptions o;
+  o.topo = TopoParams::tiny();
+  o.seed = 11;
+  o.checkpoint.interval = 3 * units::kMicrosecond;
+  o.checkpoint.path = temp_path(tag);
+  fs::remove_all(o.checkpoint.path);
+  o.farm.enabled = true;
+  o.farm.workers = 2;
+  o.farm.timeout_ms = 120'000;  // effectively no watchdog unless a test wants one
+  o.farm.backoff_ms = 10;      // keep retry latency out of the test runtime
+  return o;
+}
+
+std::vector<ExperimentConfig> two_configs() {
+  return {{PlacementKind::Contiguous, RoutingKind::Minimal},
+          {PlacementKind::RandomNode, RoutingKind::Adaptive}};
+}
+
+TEST(FarmSupervisor, RequiresASweepDirectory) {
+  ExperimentOptions o = farm_options("farm-nodir");
+  o.checkpoint.path.clear();
+  EXPECT_THROW(farm::run_farm(farm_workload(), two_configs(), o), std::invalid_argument);
+}
+
+TEST(FarmSupervisor, ChaosKillRecoversToByteIdenticalManifest) {
+  const Workload workload = farm_workload();
+  const std::vector<ExperimentConfig> configs = two_configs();
+
+  // Fault-free serial baseline through the same per-config code path.
+  ExperimentOptions serial = farm_options("farm-serial");
+  serial.farm.enabled = false;
+  const std::vector<ExperimentResult> golden = run_matrix(workload, configs, serial, 1);
+  const std::string golden_dir = temp_path("farm-golden-out");
+  fs::remove_all(golden_dir);
+  farm::write_sweep_artifacts(golden_dir, farm::report_from_results(golden));
+
+  // Chaos: the first spawn of every slot is SIGKILLed almost immediately
+  // after fork (kill_rate = 1, delay <= 1ms — far below worker runtime, so
+  // the kill always lands), then the injection budget is spent and the
+  // retries run clean.
+  ExperimentOptions chaos = farm_options("farm-chaos");
+  chaos.farm.retries = 4;
+  chaos.farm.chaos_kill_rate = 1.0;
+  chaos.farm.chaos_delay_ms = 1;
+  chaos.farm.chaos_max_injections = 2;
+  const farm::FarmReport report = farm::run_farm(workload, configs, chaos);
+
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.stats.chaos_kills, 2);
+  EXPECT_GE(report.stats.retries, 2);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  for (const farm::ConfigOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.completed) << o.config;
+    EXPECT_GE(o.attempts.size(), 2u) << o.config << ": chaos kill should force a retry";
+    EXPECT_EQ(o.attempts.back().outcome, ExitClass::Ok);
+  }
+
+  const std::string chaos_dir = temp_path("farm-chaos-out");
+  fs::remove_all(chaos_dir);
+  farm::write_sweep_artifacts(chaos_dir, report);
+  const std::string golden_manifest = slurp(golden_dir + "/manifest.json");
+  ASSERT_FALSE(golden_manifest.empty());
+  EXPECT_EQ(slurp(chaos_dir + "/manifest.json"), golden_manifest)
+      << "chaos-recovered manifest differs from the fault-free baseline";
+  EXPECT_TRUE(slurp(chaos_dir + "/failures.jsonl").empty());
+}
+
+TEST(FarmSupervisor, WatchdogQuarantinesAHungWorker) {
+  const std::vector<ExperimentConfig> configs = two_configs();
+  ExperimentOptions o = farm_options("farm-hang");
+  // Coarse snapshots keep the healthy worker's runtime (dominated by fsync
+  // per snapshot) far below the watchdog timeout; the hung worker ignores
+  // SIGTERM, so each of its attempts burns timeout + escalation grace.
+  o.checkpoint.interval = 100 * units::kMicrosecond;
+  o.farm.timeout_ms = 600;
+  o.farm.retries = 1;
+  o.farm.hang_config = configs[0].name();
+  const farm::FarmReport report = farm::run_farm(farm_workload(), configs, o);
+
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  const farm::ConfigOutcome& hung = report.outcomes[0];
+  EXPECT_TRUE(hung.quarantined);
+  EXPECT_EQ(hung.final_outcome, ExitClass::Timeout);
+  EXPECT_EQ(hung.attempts.size(), 2u) << "1 retry => exactly 2 attempts";
+  for (const farm::AttemptRecord& a : hung.attempts) EXPECT_TRUE(a.timed_out);
+  EXPECT_TRUE(report.outcomes[1].completed) << "healthy config must not be dragged down";
+  EXPECT_EQ(report.stats.quarantined, 1);
+  EXPECT_EQ(report.stats.timeouts, 2);
+  EXPECT_GE(report.stats.sigterm_escalations, 1);
+  EXPECT_FALSE(report.all_ok());
+
+  // The quarantine is machine-readable and names the config and class.
+  const std::string dir = temp_path("farm-hang-out");
+  fs::remove_all(dir);
+  farm::write_sweep_artifacts(dir, report);
+  const std::string failures = slurp(dir + "/failures.jsonl");
+  EXPECT_NE(failures.find(configs[0].name()), std::string::npos);
+  EXPECT_NE(failures.find("timeout"), std::string::npos);
+}
+
+TEST(FarmSupervisor, CrashIsContainedAndQuarantined) {
+  const std::vector<ExperimentConfig> configs = two_configs();
+  ExperimentOptions o = farm_options("farm-crash");
+  o.farm.retries = 1;
+  o.farm.crash_config = configs[1].name();
+  const farm::FarmReport report = farm::run_farm(farm_workload(), configs, o);
+
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_TRUE(report.outcomes[0].completed);
+  const farm::ConfigOutcome& crashed = report.outcomes[1];
+  EXPECT_TRUE(crashed.quarantined);
+  EXPECT_EQ(crashed.final_outcome, ExitClass::Crash);
+  EXPECT_EQ(crashed.attempts.size(), 2u);
+  EXPECT_EQ(crashed.attempts[0].signal, SIGABRT);
+  EXPECT_EQ(report.stats.crashes, 2);
+}
+
+TEST(FarmSupervisor, GracefulShutdownFlushesACheckpointAndResumes) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  const Workload workload = farm_workload();
+
+  ExperimentOptions golden_opts = farm_options("farm-shutdown-golden");
+  golden_opts.farm.enabled = false;
+  const ExperimentResult golden = run_experiment(workload, config, golden_opts);
+
+  // Worker-style run with the shutdown flag pre-raised: the first checkpoint
+  // boundary must flush the snapshot and stop, exactly as a worker that
+  // received SIGTERM does.
+  farm::reset_shutdown_flag();
+  farm::request_shutdown();
+  ExperimentOptions o = farm_options("farm-shutdown");
+  fs::create_directories(o.checkpoint.path);
+  o.checkpoint.stop_flag = farm::shutdown_flag();
+  const ExperimentResult partial =
+      farm::run_sweep_config(workload, config, o, /*shared_topo=*/nullptr);
+  EXPECT_TRUE(partial.stopped_at_checkpoint);
+  EXPECT_LT(partial.metrics.events, golden.metrics.events);
+  const std::string ckpt = farm::sweep_ckpt_path(o.checkpoint.path, config.name());
+  EXPECT_TRUE(fs::exists(ckpt)) << "interrupted run must leave its snapshot";
+  EXPECT_FALSE(fs::exists(farm::sweep_done_path(o.checkpoint.path, config.name())));
+
+  // Clear the flag and resume: identical to the uninterrupted run.
+  farm::reset_shutdown_flag();
+  o.checkpoint.stop_flag = nullptr;
+  o.checkpoint.resume = true;
+  const ExperimentResult resumed = farm::run_sweep_config(workload, config, o, nullptr);
+  EXPECT_FALSE(resumed.stopped_at_checkpoint);
+  EXPECT_EQ(resumed.metrics.events, golden.metrics.events);
+  EXPECT_EQ(resumed.metrics.makespan_ms, golden.metrics.makespan_ms);
+  EXPECT_EQ(resumed.metrics.comm_time_ms, golden.metrics.comm_time_ms);
+  EXPECT_FALSE(fs::exists(ckpt)) << "completion must retire the snapshot";
+}
+
+TEST(FarmSupervisor, RunMatrixDelegatesToTheFarm) {
+  const std::vector<ExperimentConfig> configs = two_configs();
+  const Workload workload = farm_workload();
+
+  ExperimentOptions serial = farm_options("farm-delegate-serial");
+  serial.farm.enabled = false;
+  const std::vector<ExperimentResult> golden = run_matrix(workload, configs, serial, 1);
+
+  ExperimentOptions farmed = farm_options("farm-delegate");
+  const std::vector<ExperimentResult> results = run_matrix(workload, configs, farmed, 4);
+  ASSERT_EQ(results.size(), golden.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].config, golden[i].config);
+    EXPECT_EQ(results[i].metrics.makespan_ms, golden[i].metrics.makespan_ms);
+    EXPECT_EQ(results[i].metrics.events, golden[i].metrics.events);
+  }
+}
+
+}  // namespace
+}  // namespace dfly
