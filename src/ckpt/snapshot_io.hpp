@@ -27,7 +27,10 @@ namespace dfly::ckpt {
 static_assert(std::endian::native == std::endian::little,
               "checkpoint format requires a little-endian host");
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: the engine section gained a leading mode byte (serial vs sharded) and
+// the network section became lane-structured (arena chunk pool, per-lane
+// counters and RNG streams, chunk trace serials).
+inline constexpr std::uint32_t kFormatVersion = 2;
 /// Value of the byte-order sentinel field as written; a byte-swapped file
 /// reads back 0x04030201 and is rejected with a clear message.
 inline constexpr std::uint32_t kByteOrderSentinel = 0x01020304u;

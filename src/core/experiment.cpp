@@ -57,7 +57,18 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   Engine engine;
   if (options.max_events) engine.set_event_limit(options.max_events);
   const std::unique_ptr<RoutingAlgorithm> routing = make_routing(config.routing, topo);
+  if (options.threads > 0) {
+    // One shard (lane) per dragonfly group; the global-link latency is the
+    // conservative lookahead — no chunk, credit, or notification crosses
+    // groups in less simulated time than that.
+    ShardingOptions sharding;
+    sharding.shards = options.topo.groups;
+    sharding.lookahead = options.net.global_latency;
+    sharding.threads = options.threads;
+    engine.enable_sharding(sharding);
+  }
   Network network(engine, topo, options.net, *routing, master.fork(1));
+  if (options.threads > 0) network.enable_sharding(options.net.global_latency);
   ReplayEngine replay(engine, network, trace, placement, options.replay);
 
   // Declared after the network/routing it hooks into, so the destructor

@@ -97,9 +97,12 @@ RunTelemetry::RunTelemetry(Engine& engine, Network& network, RoutingAlgorithm& r
     : network_(network),
       routing_(routing),
       options_(options),
-      tracer_(trace_, options.sample_rate),
+      tracer_(trace_, options.sample_rate, network.sharded() ? &engine : nullptr),
       probe_(engine, registry_, options.snapshot_interval) {
   options_.validate();
+  // Sharded runs record routing decisions from worker threads; the stats
+  // vector must be at full size up front so record() never resizes it.
+  if (network.sharded()) routing_stats_.presize(network.topology().params().total_routers());
   network_.set_tracer(&tracer_);
   routing_.set_telemetry(&routing_stats_);
   register_engine_counters(registry_, engine);
@@ -125,8 +128,6 @@ void RunTelemetry::save_state(ckpt::Writer& w) const {
     w.f64(d.minimal_score_sum);
     w.f64(d.nonminimal_score_sum);
   }
-  w.u64(routing_stats_.minimal_total());
-  w.u64(routing_stats_.nonminimal_total());
 }
 
 void RunTelemetry::load_state(ckpt::Reader& r) {
@@ -145,9 +146,7 @@ void RunTelemetry::load_state(ckpt::Reader& r) {
     d.nonminimal_score_sum = r.f64();
     per_source.push_back(d);
   }
-  const std::uint64_t minimal_total = r.u64();
-  const std::uint64_t nonminimal_total = r.u64();
-  routing_stats_.restore(std::move(per_source), minimal_total, nonminimal_total);
+  routing_stats_.restore(std::move(per_source));
 }
 
 namespace {

@@ -5,77 +5,132 @@
 #include <map>
 #include <ostream>
 #include <stdexcept>
+#include <tuple>
 
 #include "ckpt/snapshot_io.hpp"
 #include "obs/json.hpp"
 
 namespace dfly {
 
-ChunkPathTracer::ChunkPathTracer(TraceSink& sink, double sample_rate)
-    : sink_(sink), rate_(sample_rate) {
+namespace {
+
+// Serial layout in sharded mode; mirrors the engine's event-sequence packing.
+constexpr int kSerialLaneShift = 48;
+
+}  // namespace
+
+ChunkPathTracer::ChunkPathTracer(TraceSink& sink, double sample_rate, const Engine* engine)
+    : sink_(sink), rate_(sample_rate), engine_(engine) {
   if (!(sample_rate >= 0.0 && sample_rate <= 1.0))
     throw std::invalid_argument("chunk tracer: sample_rate must be in [0, 1]");
+  if (engine_ && !engine_->sharded())
+    throw std::invalid_argument("chunk tracer: engine given but not sharded");
+  lanes_ = std::vector<Lane>(engine_ ? static_cast<std::size_t>(engine_->lanes()) : 1);
 }
 
-void ChunkPathTracer::on_chunk_injected(ChunkId id, MsgId msg, NodeId src, NodeId dst,
-                                        Bytes bytes, SimTime now) {
-  ++chunks_seen_;
-  acc_ += rate_;
-  if (acc_ < 1.0) return;
-  acc_ -= 1.0;
-  ++chunks_sampled_;
-  LiveChunk& live = live_[id];
-  live.serial = next_serial_++;
-  live.msg = msg;
-  live.src = src;
-  live.dst = dst;
-  live.bytes = bytes;
-  live.has_pending = false;
-  sink_.on_chunk_sampled(live.serial, msg, src, dst, bytes, now);
+std::uint64_t ChunkPathTracer::on_chunk_injected(MsgId msg, NodeId src, NodeId dst, Bytes bytes,
+                                                 SimTime now) {
+  Lane& l = lane();
+  ++l.seen;
+  l.acc += rate_;
+  if (l.acc < 1.0) return kNoTraceSerial;
+  l.acc -= 1.0;
+  ++l.sampled;
+  ++l.live_delta;
+  std::uint64_t serial = l.next++;
+  if (engine_)
+    serial |= static_cast<std::uint64_t>(lane_index()) << kSerialLaneShift;
+  else
+    sink_.on_chunk_sampled(serial, msg, src, dst, bytes, now);
+  return serial;
 }
 
-void ChunkPathTracer::on_hop_enqueue(ChunkId id, RouterId router, int port, PortKind kind,
+void ChunkPathTracer::on_hop_enqueue(std::uint64_t serial, MsgId msg, NodeId src, NodeId dst,
+                                     Bytes bytes, RouterId router, int port, PortKind kind,
                                      int vc, Bytes queue_depth, SimTime now) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
-  LiveChunk& live = it->second;
-  HopEvent& hop = live.pending;
-  hop = HopEvent{};
-  hop.chunk = live.serial;
-  hop.msg = live.msg;
-  hop.src = live.src;
-  hop.dst = live.dst;
+  HopEvent hop;
+  hop.chunk = serial;
+  hop.msg = msg;
+  hop.src = src;
+  hop.dst = dst;
   hop.router = router;
   hop.port = static_cast<std::int16_t>(port);
   hop.vc = static_cast<std::int8_t>(vc);
   hop.kind = kind;
-  hop.bytes = live.bytes;
+  hop.bytes = bytes;
   hop.queue_depth = queue_depth;
   hop.enqueue_time = now;
-  live.has_pending = true;
+  lane().pending[serial] = hop;
 }
 
-void ChunkPathTracer::on_transmit_start(ChunkId id, SimTime start, SimTime end) {
-  const auto it = live_.find(id);
-  if (it == live_.end() || !it->second.has_pending) return;
-  LiveChunk& live = it->second;
-  live.pending.start_time = start;
-  live.pending.end_time = end;
-  live.has_pending = false;
-  ++hops_recorded_;
-  sink_.on_hop(live.pending);
+void ChunkPathTracer::on_transmit_start(std::uint64_t serial, SimTime start, SimTime end) {
+  Lane& l = lane();
+  const auto it = l.pending.find(serial);
+  if (it == l.pending.end()) return;
+  HopEvent hop = it->second;
+  l.pending.erase(it);
+  hop.start_time = start;
+  hop.end_time = end;
+  ++l.hops;
+  if (engine_)
+    l.buffered.push_back(hop);
+  else
+    sink_.on_hop(hop);
 }
 
-void ChunkPathTracer::close(ChunkId id, SimTime now, bool delivered) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
-  sink_.on_chunk_closed(it->second.serial, now, delivered);
-  live_.erase(it);
+void ChunkPathTracer::close(std::uint64_t serial, SimTime now, bool delivered) {
+  Lane& l = lane();
+  // Discard a half-recorded hop (enqueued, never transmitted): the chunk died
+  // in a queue. Drops from global context (fault purges) may close a chunk
+  // whose pending hop lives on another lane — safe to reach into, every
+  // shard is parked then.
+  if (l.pending.erase(serial) == 0 && engine_ && lane_index() == engine_->global_lane()) {
+    for (Lane& other : lanes_) other.pending.erase(serial);
+  }
+  --l.live_delta;
+  if (!engine_) sink_.on_chunk_closed(serial, now, delivered);
 }
 
-void ChunkPathTracer::on_delivered(ChunkId id, SimTime now) { close(id, now, true); }
+void ChunkPathTracer::on_delivered(std::uint64_t serial, SimTime now) { close(serial, now, true); }
 
-void ChunkPathTracer::on_dropped(ChunkId id, SimTime now) { close(id, now, false); }
+void ChunkPathTracer::on_dropped(std::uint64_t serial, SimTime now) { close(serial, now, false); }
+
+void ChunkPathTracer::flush() {
+  std::vector<HopEvent> all;
+  for (Lane& l : lanes_) {
+    all.insert(all.end(), l.buffered.begin(), l.buffered.end());
+    l.buffered.clear();
+  }
+  std::sort(all.begin(), all.end(), [](const HopEvent& a, const HopEvent& b) {
+    return std::tie(a.enqueue_time, a.start_time, a.chunk, a.router, a.port) <
+           std::tie(b.enqueue_time, b.start_time, b.chunk, b.router, b.port);
+  });
+  for (const HopEvent& hop : all) sink_.on_hop(hop);
+}
+
+std::uint64_t ChunkPathTracer::chunks_seen() const {
+  std::uint64_t n = 0;
+  for (const Lane& l : lanes_) n += l.seen;
+  return n;
+}
+
+std::uint64_t ChunkPathTracer::chunks_sampled() const {
+  std::uint64_t n = 0;
+  for (const Lane& l : lanes_) n += l.sampled;
+  return n;
+}
+
+std::uint64_t ChunkPathTracer::hops_recorded() const {
+  std::uint64_t n = 0;
+  for (const Lane& l : lanes_) n += l.hops;
+  return n;
+}
+
+std::size_t ChunkPathTracer::live_chunks() const {
+  std::int64_t n = 0;
+  for (const Lane& l : lanes_) n += l.live_delta;
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
 
 namespace {
 
@@ -122,53 +177,51 @@ HopEvent load_hop(ckpt::Reader& r) {
 }  // namespace
 
 void ChunkPathTracer::save_state(ckpt::Writer& w) const {
-  w.f64(acc_);
-  w.u64(next_serial_);
-  w.u64(chunks_seen_);
-  w.u64(chunks_sampled_);
-  w.u64(hops_recorded_);
-  // Sort by chunk id so the snapshot bytes don't depend on hash-map order.
-  std::vector<ChunkId> ids;
-  ids.reserve(live_.size());
-  for (const auto& [id, live] : live_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  w.size(ids.size());
-  for (const ChunkId id : ids) {
-    const LiveChunk& live = live_.at(id);
-    w.u32(id);
-    w.u64(live.serial);
-    w.u32(live.msg);
-    w.i32(live.src);
-    w.i32(live.dst);
-    w.i64(live.bytes);
-    w.boolean(live.has_pending);
-    if (live.has_pending) save_hop(w, live.pending);
+  w.u32(static_cast<std::uint32_t>(lanes_.size()));
+  for (const Lane& l : lanes_) {
+    w.f64(l.acc);
+    w.u64(l.next);
+    w.u64(l.seen);
+    w.u64(l.sampled);
+    w.u64(l.hops);
+    w.i64(l.live_delta);
+    // Sort by serial so the snapshot bytes don't depend on hash-map order.
+    std::vector<std::uint64_t> serials;
+    serials.reserve(l.pending.size());
+    for (const auto& [serial, hop] : l.pending) serials.push_back(serial);
+    std::sort(serials.begin(), serials.end());
+    w.size(serials.size());
+    for (const std::uint64_t serial : serials) save_hop(w, l.pending.at(serial));
+    w.size(l.buffered.size());
+    for (const HopEvent& hop : l.buffered) save_hop(w, hop);
   }
 }
 
 void ChunkPathTracer::load_state(ckpt::Reader& r) {
-  acc_ = r.f64();
-  next_serial_ = r.u64();
-  chunks_seen_ = r.u64();
-  chunks_sampled_ = r.u64();
-  hops_recorded_ = r.u64();
-  if (!(acc_ >= 0.0 && acc_ < 1.0))
-    throw std::runtime_error("snapshot: tracer sampling accumulator out of range");
-  const std::size_t nlive = r.count(30);
-  live_.clear();
-  live_.reserve(nlive);
-  for (std::size_t i = 0; i < nlive; ++i) {
-    const ChunkId id = r.u32();
-    LiveChunk live;
-    live.serial = r.u64();
-    live.msg = r.u32();
-    live.src = r.i32();
-    live.dst = r.i32();
-    live.bytes = r.i64();
-    live.has_pending = r.boolean();
-    if (live.has_pending) live.pending = load_hop(r);
-    if (!live_.emplace(id, live).second)
-      throw std::runtime_error("snapshot: duplicate live chunk id");
+  const std::uint32_t nlanes = r.u32();
+  if (nlanes != lanes_.size())
+    throw std::runtime_error("snapshot: tracer lane count mismatch (serial vs sharded)");
+  for (Lane& l : lanes_) {
+    l.acc = r.f64();
+    l.next = r.u64();
+    l.seen = r.u64();
+    l.sampled = r.u64();
+    l.hops = r.u64();
+    l.live_delta = r.i64();
+    if (!(l.acc >= 0.0 && l.acc < 1.0))
+      throw std::runtime_error("snapshot: tracer sampling accumulator out of range");
+    const std::size_t npending = r.count(kHopBytes);
+    l.pending.clear();
+    l.pending.reserve(npending);
+    for (std::size_t i = 0; i < npending; ++i) {
+      HopEvent hop = load_hop(r);
+      if (!l.pending.emplace(hop.chunk, hop).second)
+        throw std::runtime_error("snapshot: duplicate pending hop serial");
+    }
+    const std::size_t nbuffered = r.count(kHopBytes);
+    l.buffered.clear();
+    l.buffered.reserve(nbuffered);
+    for (std::size_t i = 0; i < nbuffered; ++i) l.buffered.push_back(load_hop(r));
   }
 }
 

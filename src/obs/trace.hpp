@@ -3,13 +3,26 @@
 // The Network drives a ChunkPathTracer through branch-on-null hooks at four
 // points of a chunk's life: injection (sampling decision), output-queue
 // enqueue at each router, transmit start on each channel, and delivery/drop.
-// The tracer keeps per-live-chunk state for the *sampled* subset only and
-// forwards completed per-hop records to a TraceSink.
+// The tracer keeps state for the *sampled* subset only and forwards completed
+// per-hop records to a TraceSink. A sampled chunk is identified by the serial
+// on_chunk_injected returns; the Network stows it in Chunk::trace_serial and
+// passes it back at every later hook, so the tracer needs no chunk-id map.
 //
 // Sampling is deterministic: an error-feedback accumulator admits exactly
 // round(rate * n) of any n injected chunks (±1), so a configured rate of 0.1
 // really records one chunk in ten — no RNG, no long-run drift, reproducible
 // across runs.
+//
+// Sharded engine support (DESIGN.md §10): constructed over a sharded Engine,
+// the tracer keeps one state block per lane. Serials pack (lane << 48) | n
+// where n counts injections sampled on that lane — single-writer, and
+// identical at any worker-thread count. Hop records are buffered per lane
+// (the shared TraceSink cannot be called from concurrent workers) and
+// flush() hands them to the sink in one deterministic sorted pass; the
+// realtime on_chunk_sampled / on_chunk_closed sink callbacks are suppressed
+// in this mode for the same reason. Unsharded, behaviour is exactly the
+// classic single-stream tracer: plain 0,1,2,... serials, records forwarded
+// the moment they complete.
 //
 // ChromeTraceWriter renders the recorded hops as Chrome trace-event JSON
 // (load in chrome://tracing or https://ui.perfetto.dev): one process per
@@ -23,6 +36,7 @@
 #include <vector>
 
 #include "net/chunk.hpp"
+#include "sim/engine.hpp"
 #include "topo/dragonfly.hpp"
 #include "util/units.hpp"
 
@@ -57,61 +71,80 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_hop(const HopEvent& hop) = 0;
-  /// A chunk passed the sampling decision at injection time.
+  /// A chunk passed the sampling decision at injection time. Not delivered
+  /// when the tracer runs per-lane over a sharded engine.
   virtual void on_chunk_sampled(std::uint64_t /*serial*/, MsgId /*msg*/, NodeId /*src*/,
                                 NodeId /*dst*/, Bytes /*bytes*/, SimTime /*now*/) {}
   /// The sampled chunk left the fabric (delivered = false means dropped on a
   /// failed link; its bytes return via NIC retransmission as a new chunk).
+  /// Not delivered when the tracer runs per-lane over a sharded engine.
   virtual void on_chunk_closed(std::uint64_t /*serial*/, SimTime /*now*/, bool /*delivered*/) {}
 };
 
 class ChunkPathTracer {
  public:
   /// Records per-hop events for `sample_rate` (in [0, 1]) of injected chunks.
-  ChunkPathTracer(TraceSink& sink, double sample_rate);
+  /// Pass the engine iff the network runs sharded on it (Network::sharded());
+  /// the tracer then partitions its state by the engine's lanes. With the
+  /// default nullptr it is the classic serial tracer.
+  ChunkPathTracer(TraceSink& sink, double sample_rate, const Engine* engine = nullptr);
 
   // --- Network hooks (call sites branch on a null tracer pointer) ---
-  void on_chunk_injected(ChunkId id, MsgId msg, NodeId src, NodeId dst, Bytes bytes, SimTime now);
-  void on_hop_enqueue(ChunkId id, RouterId router, int port, PortKind kind, int vc,
-                      Bytes queue_depth, SimTime now);
-  void on_transmit_start(ChunkId id, SimTime start, SimTime end);
-  void on_delivered(ChunkId id, SimTime now);
-  void on_dropped(ChunkId id, SimTime now);
+  /// Sampling decision for a freshly injected chunk. Returns the serial to
+  /// store in Chunk::trace_serial, or kNoTraceSerial if unsampled.
+  std::uint64_t on_chunk_injected(MsgId msg, NodeId src, NodeId dst, Bytes bytes, SimTime now);
+  void on_hop_enqueue(std::uint64_t serial, MsgId msg, NodeId src, NodeId dst, Bytes bytes,
+                      RouterId router, int port, PortKind kind, int vc, Bytes queue_depth,
+                      SimTime now);
+  void on_transmit_start(std::uint64_t serial, SimTime start, SimTime end);
+  void on_delivered(std::uint64_t serial, SimTime now);
+  void on_dropped(std::uint64_t serial, SimTime now);
 
-  /// Checkpoint support (src/ckpt/): sampling accumulator, serial/counter
-  /// state, and the live-chunk table (sampled chunks still in the fabric,
-  /// including their pending half-recorded hop).
+  /// Hands all per-lane buffered hop records to the sink in one deterministic
+  /// order — (enqueue_time, start_time, serial, router, port) — and clears
+  /// the buffers. Call once after the run drains (RunTelemetry::finish does).
+  /// No-op for the unsharded tracer, which never buffers.
+  void flush();
+
+  /// Checkpoint support (src/ckpt/): per-lane sampling accumulators,
+  /// serial/counter state, half-recorded pending hops and buffered records.
   void save_state(ckpt::Writer& w) const;
   void load_state(ckpt::Reader& r);
 
   double sample_rate() const { return rate_; }
-  std::uint64_t chunks_seen() const { return chunks_seen_; }
-  std::uint64_t chunks_sampled() const { return chunks_sampled_; }
-  std::uint64_t hops_recorded() const { return hops_recorded_; }
+  std::uint64_t chunks_seen() const;
+  std::uint64_t chunks_sampled() const;
+  std::uint64_t hops_recorded() const;
   /// Sampled chunks still in the fabric (diagnostics; 0 after a clean drain).
-  std::size_t live_chunks() const { return live_.size(); }
+  std::size_t live_chunks() const;
 
  private:
-  struct LiveChunk {
-    std::uint64_t serial = 0;
-    MsgId msg = 0;
-    NodeId src = -1;
-    NodeId dst = -1;
-    Bytes bytes = 0;
-    HopEvent pending;          ///< hop enqueued but not yet transmitted
-    bool has_pending = false;
+  /// Per-lane tracer state; single-writer by the owning lane's worker (or
+  /// the coordinator in global context). One instance when unsharded.
+  struct alignas(64) Lane {
+    double acc = 0;  ///< error-feedback sampling accumulator
+    std::uint64_t next = 0;  ///< low bits of the next serial minted here
+    std::uint64_t seen = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t hops = 0;
+    /// +1 per chunk sampled here, -1 per chunk closed here; a chunk may
+    /// close on a different lane than it was sampled on, so only the sum
+    /// across lanes is meaningful.
+    std::int64_t live_delta = 0;
+    /// Hops enqueued but not yet transmitted, by serial. Enqueue and
+    /// transmit-start of one hop happen on the same lane (same output port).
+    std::unordered_map<std::uint64_t, HopEvent> pending;
+    std::vector<HopEvent> buffered;  ///< completed hops awaiting flush (sharded)
   };
 
-  void close(ChunkId id, SimTime now, bool delivered);
+  int lane_index() const { return engine_ ? engine_->current_lane() : 0; }
+  Lane& lane() { return lanes_[static_cast<std::size_t>(lane_index())]; }
+  void close(std::uint64_t serial, SimTime now, bool delivered);
 
   TraceSink& sink_;
   double rate_;
-  double acc_ = 0;  ///< error-feedback sampling accumulator
-  std::uint64_t next_serial_ = 0;
-  std::uint64_t chunks_seen_ = 0;
-  std::uint64_t chunks_sampled_ = 0;
-  std::uint64_t hops_recorded_ = 0;
-  std::unordered_map<ChunkId, LiveChunk> live_;
+  const Engine* engine_;  ///< non-null iff running per-lane (sharded)
+  std::vector<Lane> lanes_;
 };
 
 /// Buffers hop events and renders them as Chrome trace-event JSON.

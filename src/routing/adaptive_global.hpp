@@ -21,6 +21,7 @@ class AdaptiveGlobalRouting : public RoutingAlgorithm {
                 Rng& rng) const override;
   std::string name() const override { return "adaptive-global"; }
   void on_topology_changed() override { table_.refresh(); }
+  bool uses_remote_congestion() const override { return true; }
 
  private:
   double score(const Route& route, const CongestionView& congestion, bool minimal) const;

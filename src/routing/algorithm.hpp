@@ -40,9 +40,22 @@ struct RouteDecisionStats {
 
 /// Decision telemetry an adaptive algorithm records into when a sink is
 /// installed via RoutingAlgorithm::set_telemetry (observability layer,
-/// src/obs/). Indexed by source router; grows lazily.
+/// src/obs/). Indexed by source router; grows lazily unless presize()d.
+///
+/// Thread-safety under the sharded engine: record() touches only the source
+/// router's slot, and routes are computed on the source's lane — distinct
+/// lanes write distinct slots. The aggregate totals are therefore *summed on
+/// read* instead of kept as shared counters, and a sharded run must
+/// presize() the vector up front so record() never resizes concurrently.
 class RoutingTelemetry {
  public:
+  /// Pre-allocates one slot per source router (required before sharded use;
+  /// unsharded runs may skip it and keep the lazily-grown vector).
+  void presize(int total_routers) {
+    if (static_cast<std::size_t>(total_routers) > per_source_.size())
+      per_source_.resize(static_cast<std::size_t>(total_routers));
+  }
+
   void record(RouterId src, bool chose_minimal, double winning_score, double best_minimal_score,
               double best_nonminimal_score) {
     if (static_cast<std::size_t>(src) >= per_source_.size()) per_source_.resize(src + 1);
@@ -51,26 +64,29 @@ class RoutingTelemetry {
     d.winning_score_sum += winning_score;
     d.minimal_score_sum += best_minimal_score;
     d.nonminimal_score_sum += best_nonminimal_score;
-    (chose_minimal ? minimal_total_ : nonminimal_total_) += 1;
   }
 
-  std::uint64_t decisions() const { return minimal_total_ + nonminimal_total_; }
-  std::uint64_t minimal_total() const { return minimal_total_; }
-  std::uint64_t nonminimal_total() const { return nonminimal_total_; }
+  std::uint64_t decisions() const { return minimal_total() + nonminimal_total(); }
+  std::uint64_t minimal_total() const {
+    std::uint64_t n = 0;
+    for (const RouteDecisionStats& d : per_source_) n += d.minimal;
+    return n;
+  }
+  std::uint64_t nonminimal_total() const {
+    std::uint64_t n = 0;
+    for (const RouteDecisionStats& d : per_source_) n += d.nonminimal;
+    return n;
+  }
   const std::vector<RouteDecisionStats>& per_source() const { return per_source_; }
 
-  /// Checkpoint support (src/ckpt/): wholesale state replacement on restore.
-  void restore(std::vector<RouteDecisionStats> per_source, std::uint64_t minimal_total,
-               std::uint64_t nonminimal_total) {
+  /// Checkpoint support (src/ckpt/): wholesale state replacement on restore
+  /// (the totals are derived, so the per-source table is the whole state).
+  void restore(std::vector<RouteDecisionStats> per_source) {
     per_source_ = std::move(per_source);
-    minimal_total_ = minimal_total;
-    nonminimal_total_ = nonminimal_total;
   }
 
  private:
   std::vector<RouteDecisionStats> per_source_;
-  std::uint64_t minimal_total_ = 0;
-  std::uint64_t nonminimal_total_ = 0;
 };
 
 class RoutingAlgorithm {
@@ -90,6 +106,12 @@ class RoutingAlgorithm {
   /// Notifies the algorithm that topology link state changed (links failed or
   /// recovered mid-run); implementations rebuild whatever they precomputed.
   virtual void on_topology_changed() {}
+
+  /// True when compute() reads congestion state beyond the source router's
+  /// own output queues (UGAL-G scores whole candidate paths). The sharded
+  /// network cannot partition such reads by group, so it keeps these runs on
+  /// the serial dispatch path (Network::enable_sharding becomes a no-op).
+  virtual bool uses_remote_congestion() const { return false; }
 
   virtual std::string name() const = 0;
 

@@ -18,13 +18,29 @@ Route valiant_route(const MinimalPathTable& table, NodeId src, NodeId dst, Route
   return route;
 }
 
-RouterId pick_valiant_intermediate(const DragonflyTopology& topo, RouterId r_src, RouterId r_dst,
-                                   Rng& rng) {
-  const int total = topo.params().total_routers();
-  for (;;) {
+RouterId pick_valiant_intermediate(int total_routers, RouterId r_src, RouterId r_dst, Rng& rng) {
+  const int total = total_routers;
+  // With two routers (or one) there is no third router to bounce through;
+  // the old rejection loop would spin forever. Route minimally instead —
+  // via == r_dst makes valiant_route collapse to the minimal path.
+  if (total <= 2) return r_dst;
+  for (int attempt = 0; attempt < 8; ++attempt) {
     const auto via = static_cast<RouterId>(rng.uniform(static_cast<std::uint64_t>(total)));
     if (via != r_src && via != r_dst) return via;
   }
+  // Statistically unreachable for total >= 3 (each draw misses with
+  // probability <= 2/3), but bound the loop anyway: take the first router
+  // after r_src, modulo the table, that is neither endpoint.
+  for (int offset = 1; offset < total; ++offset) {
+    const auto via = static_cast<RouterId>((r_src + offset) % total);
+    if (via != r_src && via != r_dst) return via;
+  }
+  return r_dst;
+}
+
+RouterId pick_valiant_intermediate(const DragonflyTopology& topo, RouterId r_src, RouterId r_dst,
+                                   Rng& rng) {
+  return pick_valiant_intermediate(topo.params().total_routers(), r_src, r_dst, rng);
 }
 
 Route ValiantRouting::compute(NodeId src, NodeId dst, const CongestionView& /*congestion*/,

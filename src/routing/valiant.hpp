@@ -29,7 +29,12 @@ Route valiant_route(const MinimalPathTable& table, NodeId src, NodeId dst, Route
 
 /// Picks a Valiant intermediate router: uniform over routers outside the
 /// source and destination routers (matching "randomly selecting an
-/// intermediate router from the network", paper §III-C).
+/// intermediate router from the network", paper §III-C). The selection loop
+/// is bounded: after 8 rejected draws (vanishingly unlikely for any topology
+/// with >= 3 routers) it falls back to a deterministic modular scan from
+/// r_src, and a degenerate table of <= 2 routers short-circuits to r_dst
+/// (minimal route) instead of spinning forever.
+RouterId pick_valiant_intermediate(int total_routers, RouterId r_src, RouterId r_dst, Rng& rng);
 RouterId pick_valiant_intermediate(const DragonflyTopology& topo, RouterId r_src, RouterId r_dst,
                                    Rng& rng);
 

@@ -1,5 +1,7 @@
 #include "topo/coordinates.hpp"
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -32,6 +34,17 @@ void TopoParams::validate() const {
   if (global_ports_per_group() % (groups - 1) != 0)
     fail("global ports per group (" + std::to_string(global_ports_per_group()) +
          ") must divide evenly among " + std::to_string(groups - 1) + " peer groups");
+  // Identifier spaces are 32-bit ints; the widest is the directed channel id
+  // (router * ports_per_router + port). Check it in 64-bit arithmetic — the
+  // int products total_routers() and total_channels() would themselves
+  // overflow (UB) before any downstream bound could catch the problem.
+  const std::int64_t routers64 = std::int64_t{groups} * rows * cols;
+  const std::int64_t ports64 =
+      std::int64_t{nodes_per_router} + (cols - 1) + (rows - 1) + global_ports_per_router;
+  constexpr std::int64_t kIdMax = std::numeric_limits<std::int32_t>::max();
+  if (routers64 * ports64 > kIdMax)
+    fail("channel id space overflows 32-bit ids: " + std::to_string(routers64) + " routers x " +
+         std::to_string(ports64) + " ports per router exceeds " + std::to_string(kIdMax));
 }
 
 std::string TopoParams::describe() const {
