@@ -23,6 +23,7 @@
 
 #include "net/network.hpp"
 #include "place/placement.hpp"
+#include "prof/profiler.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/minimal.hpp"
 #include "routing/valiant.hpp"
@@ -213,7 +214,8 @@ struct ParallelResult {
 };
 
 double run_sharded_theta(const DragonflyTopology& topo, int threads, int messages,
-                         std::uint64_t* events_out, double* projected_out) {
+                         std::uint64_t* events_out, double* projected_out,
+                         prof::Profiler* profiler = nullptr) {
   const NetworkParams params = NetworkParams::theta();
   Engine engine;
   ShardingOptions sharding;
@@ -221,6 +223,7 @@ double run_sharded_theta(const DragonflyTopology& topo, int threads, int message
   sharding.lookahead = params.global_latency;
   sharding.threads = threads;
   engine.enable_sharding(sharding);
+  engine.set_profiler(profiler);
   MinimalRouting routing(topo);
   Network network(engine, topo, params, routing, Rng(3));
   network.enable_sharding(params.global_latency);
@@ -266,6 +269,49 @@ ParallelResult run_parallel_headline(bool smoke) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-core scaling matrix: the same Theta-scale workload at threads
+// {1, 2, 4, 8}, each run with a src/prof/ profiler attached, recording the
+// measured speedup over threads=1 alongside the profiler's barrier-stall
+// fraction and lane imbalance — the two quantities that explain any gap
+// between measured and projected scaling (DESIGN.md §10/§11).
+// ---------------------------------------------------------------------------
+
+struct ScalingRow {
+  int threads = 0;
+  std::uint64_t events = 0;
+  double meps = 0.0;
+  double speedup = 0.0;              ///< meps over the threads=1 row's meps
+  double barrier_stall_frac = 0.0;   ///< sum(wait) / sum(busy + wait)
+  double lane_imbalance = 0.0;       ///< busiest lane busy / mean lane busy
+};
+
+std::vector<ScalingRow> run_scaling_matrix(bool smoke) {
+  const int messages = smoke ? 2'000 : 20'000;
+  const int repetitions = smoke ? 1 : 3;
+  const DragonflyTopology topo(TopoParams::theta());
+  std::vector<ScalingRow> rows;
+  for (const int threads : {1, 2, 4, 8}) {
+    ScalingRow row;
+    row.threads = threads;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      prof::ProfOptions popts;
+      popts.enabled = true;
+      prof::Profiler profiler(popts, topo.params().groups + 1, threads);
+      const double meps =
+          run_sharded_theta(topo, threads, messages, &row.events, nullptr, &profiler);
+      if (meps > row.meps) {
+        row.meps = meps;
+        row.barrier_stall_frac = profiler.barrier_stall_fraction();
+        row.lane_imbalance = profiler.lane_imbalance();
+      }
+    }
+    rows.push_back(row);
+  }
+  for (ScalingRow& r : rows) r.speedup = r.meps / rows.front().meps;
+  return rows;
+}
+
 int run_harness(bool smoke, const std::string& out_path) {
   const std::size_t hold = smoke ? (1u << 14) : (1u << 16);
   const std::uint64_t events = smoke ? 400'000 : 4'000'000;
@@ -286,6 +332,13 @@ int run_harness(bool smoke, const std::string& out_path) {
       par.serial_meps, par.threads, par.parallel_meps, par.speedup_measured,
       par.speedup_projected, par.host_cores);
 
+  const std::vector<ScalingRow> scaling = run_scaling_matrix(smoke);
+  for (const ScalingRow& r : scaling)
+    std::printf(
+        "[engine scaling t=%d  ] %7.2f Mev/s | speedup %.2fx | barrier stall %.3f | "
+        "imbalance %.2f\n",
+        r.threads, r.meps, r.speedup, r.barrier_stall_frac, r.lane_imbalance);
+
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "{\n  \"benchmark\": \"bench_micro_engine\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n  \"hold\": %zu,\n  \"mixes\": [\n", smoke ? "true" : "false",
@@ -304,9 +357,20 @@ int run_harness(bool smoke, const std::string& out_path) {
                  "\"serial_meps\": %.3f, \"parallel_meps\": %.3f, \"speedup_measured\": %.3f, "
                  "\"speedup_projected\": %.3f, \"host_cores\": %u, "
                  "\"basis\": \"projected = total events / max(busiest lane, total/threads); "
-                 "measured wall-clock is core-count bound\"}\n",
+                 "measured wall-clock is core-count bound\"},\n",
                  par.threads, static_cast<unsigned long long>(par.events), par.serial_meps,
                  par.parallel_meps, par.speedup_measured, par.speedup_projected, par.host_cores);
+    std::fprintf(f, "  \"scaling\": [\n");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalingRow& r = scaling[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"events\": %llu, \"meps\": %.3f, \"speedup\": %.3f, "
+                   "\"barrier_stall_frac\": %.4f, \"lane_imbalance\": %.3f}%s\n",
+                   r.threads, static_cast<unsigned long long>(r.events), r.meps, r.speedup,
+                   r.barrier_stall_frac, r.lane_imbalance, i + 1 < scaling.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"host_cores\": %u\n", par.host_cores);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
@@ -338,12 +402,15 @@ int run_harness(bool smoke, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool harness_only = false;
   std::string out_path = "BENCH_engine.json";
   int gargc = 0;
   std::vector<char*> gargv;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--harness-only") == 0) {
+      harness_only = true;  // full-size harness + JSON, skip the gbench suite
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
@@ -353,7 +420,7 @@ int main(int argc, char** argv) {
   }
 
   const int rc = dfly::run_harness(smoke, out_path);
-  if (smoke || rc != 0) return rc;
+  if (smoke || harness_only || rc != 0) return rc;
 
   benchmark::Initialize(&gargc, gargv.data());
   if (benchmark::ReportUnrecognizedArguments(gargc, gargv.data())) return 1;

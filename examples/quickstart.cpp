@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     options.telemetry.enabled = true;
     options.telemetry.out_dir = argv[1];
     options.telemetry.sample_rate = 0.02;  // full path of 1 chunk in 50
+    options.prof.enabled = true;           // wall-clock attribution -> prof.json
   }
   const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Adaptive};
   const ExperimentResult result = run_experiment(workload, config, options);

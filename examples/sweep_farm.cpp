@@ -65,6 +65,10 @@ ExperimentOptions base_options(const std::string& out_dir) {
   options.telemetry.snapshot_interval = 20 * units::kMicrosecond;
   options.telemetry.out_dir = out_dir + "/telemetry";
   options.checkpoint.path = out_dir + "/sweep";
+  // Liveness + attribution: workers heartbeat into <sweep>/<config>.status.json,
+  // the supervisor aggregates farm_status.json, each run exports prof.json.
+  // Pure observability — the chaos phases still byte-compare manifests.
+  options.prof.enabled = true;
   return options;
 }
 

@@ -189,6 +189,12 @@ const std::map<std::string, Setter>& setters() {
        set_int([](ExperimentOptions& o) -> std::int64_t& { return o.farm.chaos_max_injections; })},
       {"farm.chaos_seed",
        set_int([](ExperimentOptions& o) -> std::uint64_t& { return o.farm.chaos_seed; })},
+      {"prof.enabled",
+       set_int([](ExperimentOptions& o) -> bool& { return o.prof.enabled; })},
+      {"prof.heartbeat_period_ms",
+       set_int([](ExperimentOptions& o) -> std::int64_t& { return o.prof.heartbeat_period_ms; })},
+      {"prof.hist_bucket_bits",
+       set_int([](ExperimentOptions& o) -> int& { return o.prof.hist_bucket_bits; })},
       {"checkpoint.interval_ns",
        set_int([](ExperimentOptions& o) -> SimTime& { return o.checkpoint.interval; })},
       {"checkpoint.path",
@@ -247,6 +253,7 @@ ExperimentOptions parse_config(std::istream& is, ExperimentOptions defaults) {
   options.net.validate();
   options.telemetry.validate();
   options.farm.validate();
+  options.prof.validate();
   return options;
 }
 
@@ -305,6 +312,10 @@ std::string render_config(const ExperimentOptions& o) {
   os << "chaos_delay_ms = " << o.farm.chaos_delay_ms << "\n";
   os << "chaos_max_injections = " << o.farm.chaos_max_injections << "\n";
   os << "chaos_seed = " << o.farm.chaos_seed << "\n";
+  os << "\n[prof]\n";
+  os << "enabled = " << (o.prof.enabled ? 1 : 0) << "\n";
+  os << "heartbeat_period_ms = " << o.prof.heartbeat_period_ms << "\n";
+  os << "hist_bucket_bits = " << o.prof.hist_bucket_bits << "\n";
   os << "\n[checkpoint]\n";
   os << "interval_ns = " << o.checkpoint.interval << "\n";
   if (!o.checkpoint.path.empty()) os << "path = " << o.checkpoint.path << "\n";

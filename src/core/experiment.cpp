@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "ckpt/checkpoint.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/report.hpp"
 #include "replay/replay.hpp"
 #include "sim/engine.hpp"
 
@@ -54,6 +56,16 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
   Trace trace = workload.trace;  // scaling mutates; keep the workload pristine
   if (options.msg_scale != 1.0) trace.scale_message_sizes(options.msg_scale);
 
+  // The profiler is constructed before the engine (and so destroyed after
+  // it): engine worker threads and the network hold raw pointers into it for
+  // the whole run. Lane count mirrors the engine's sharding decision below.
+  std::optional<prof::Profiler> profiler;
+  if (options.prof.enabled) {
+    const int prof_lanes = options.threads > 0 ? options.topo.groups + 1 : 1;
+    profiler.emplace(options.prof, prof_lanes, options.threads);
+  }
+  prof::Profiler* const prof_ptr = profiler ? &*profiler : nullptr;
+
   Engine engine;
   if (options.max_events) engine.set_event_limit(options.max_events);
   const std::unique_ptr<RoutingAlgorithm> routing = make_routing(config.routing, topo);
@@ -67,6 +79,7 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     sharding.threads = options.threads;
     engine.enable_sharding(sharding);
   }
+  engine.set_profiler(prof_ptr);
   Network network(engine, topo, options.net, *routing, master.fork(1));
   if (options.threads > 0) network.enable_sharding(options.net.global_latency);
   ReplayEngine replay(engine, network, trace, placement, options.replay);
@@ -139,6 +152,35 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     replay.start();
   }
 
+  // Farm liveness: periodic status.json heartbeats, refreshed at checkpoint
+  // slice boundaries (run_slice returns are provably non-perturbing, so a
+  // heartbeat can never change the simulation). Disabled outside the farm.
+  prof::HeartbeatWriter heartbeat(options.prof.enabled ? options.prof.status_path : "",
+                                  options.prof.heartbeat_period_ms);
+  std::int64_t slices = 0;
+  const auto beat = [&](const char* state, bool force) {
+    if (!heartbeat.enabled()) return;
+    prof::HeartbeatInfo info;
+    info.config = config.name();
+    info.state = state;
+    info.sim_ns = engine.now();
+    info.events = static_cast<std::int64_t>(engine.events_processed());
+    info.slices = slices;
+    heartbeat.beat(info, force);
+  };
+  const auto throughput_sample = [&] {
+    if (prof_ptr != nullptr)
+      prof_ptr->throughput().sample(engine.now(), engine.events_processed(),
+                                    network.chunks_forwarded());
+  };
+
+  if (prof_ptr != nullptr) {
+    prof_ptr->begin_run();
+    prof_ptr->throughput().start(engine.now(), engine.events_processed(),
+                                 network.chunks_forwarded());
+  }
+  beat("starting", true);
+
   bool stopped_at_checkpoint = false;
   if (options.checkpoint.active()) {
     // Slice the run at checkpoint boundaries with run_slice. Dispatch order
@@ -151,8 +193,16 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     SimTime next = engine.now() + ck.interval;
     for (;;) {
       engine.run_slice(next);
+      throughput_sample();
       if (engine.pending() == 0 || engine.stop_requested() || engine.hit_event_limit()) break;
-      ckpt::save_checkpoint(ck.path, parts);
+      {
+        prof::ProfScope prof_scope(prof_ptr, prof::Subsystem::CheckpointIo,
+                                   engine.global_lane());
+        ckpt::save_checkpoint(ck.path, parts);
+      }
+      heartbeat.note_checkpoint();
+      ++slices;
+      beat("running", false);
       // Graceful shutdown (SIGINT/SIGTERM via farm/signals) parks the run at
       // the snapshot just written, exactly like the stop_after test hook.
       const bool stop_signaled =
@@ -165,7 +215,9 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     }
   } else {
     engine.run();
+    throughput_sample();
   }
+  if (prof_ptr != nullptr) prof_ptr->end_run();
   network.finalize(engine.now());
 
   if (!replay.finished() && !engine.hit_event_limit() && !monitor.stalled() &&
@@ -201,8 +253,17 @@ ExperimentResult run_experiment(const Workload& workload, const ExperimentConfig
     telemetry->finish(engine.now());
     result.trace_chunks_seen = telemetry->tracer().chunks_seen();
     result.trace_chunks_sampled = telemetry->tracer().chunks_sampled();
+    prof::ProfScope prof_scope(prof_ptr, prof::Subsystem::TelemetryExport, engine.global_lane());
     result.telemetry_dir = export_run_artifacts(*telemetry, result, network, engine.now());
   }
+  if (profiler && !options.telemetry.out_dir.empty()) {
+    // prof.json lands next to metrics.json; being wall-clock data it is the
+    // one artifact allowed to differ between otherwise identical runs.
+    const std::string path =
+        (std::filesystem::path(options.telemetry.out_dir) / result.config / "prof.json").string();
+    prof::write_prof_json(path, *profiler, result.config);
+  }
+  beat(stopped_at_checkpoint ? "interrupted" : "done", true);
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "metrics/collector.hpp"
 #include "net/params.hpp"
 #include "obs/telemetry.hpp"
+#include "prof/profiler.hpp"
 #include "replay/replay.hpp"
 #include "place/placement.hpp"
 #include "routing/algorithm.hpp"
@@ -88,6 +89,10 @@ struct ExperimentOptions {
   TelemetryOptions telemetry;  ///< flight-recorder tracing + run artifacts
   CheckpointOptions checkpoint;  ///< periodic snapshots + resume (src/ckpt/)
   FarmOptions farm;  ///< process-isolated sweep farm policy (src/farm/)
+  /// [prof] wall-clock self-profiling (src/prof/, DESIGN.md §11): subsystem
+  /// attribution + lane phases into prof.json, periodic status.json
+  /// heartbeats. Never perturbs the simulation or its other artifacts.
+  prof::ProfOptions prof;
 };
 
 struct ExperimentResult {

@@ -136,6 +136,8 @@ void register_farm_counters(CounterRegistry& registry, const FarmStats& stats) {
   gauge("farm.sigkill_escalations", &FarmStats::sigkill_escalations);
   gauge("farm.chaos_kills", &FarmStats::chaos_kills);
   gauge("farm.chaos_stops", &FarmStats::chaos_stops);
+  gauge("farm.attempt_wall_ms_total", &FarmStats::attempt_wall_ms_total);
+  gauge("farm.elapsed_ms", &FarmStats::elapsed_ms);
 }
 
 }  // namespace
@@ -180,6 +182,9 @@ std::string write_sweep_artifacts(const std::string& dir, const FarmReport& repo
       w.field("config", o.config);
       w.field("final", to_string(o.final_outcome));
       w.field("attempts", static_cast<std::int64_t>(o.attempts.size()));
+      std::int64_t wall_ms_total = 0;
+      for (const AttemptRecord& a : o.attempts) wall_ms_total += a.wall_ms;
+      w.field("wall_ms_total", wall_ms_total);
       w.field("error", o.error);
       w.key("history").begin_array();
       for (const AttemptRecord& a : o.attempts) write_attempt(w, a);

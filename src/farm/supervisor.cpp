@@ -10,11 +10,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <stdexcept>
 
 #include "ckpt/checkpoint.hpp"
 #include "farm/signals.hpp"
 #include "farm/worker.hpp"
+#include "obs/json.hpp"
+#include "prof/heartbeat.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -110,6 +113,7 @@ class Supervisor {
       }
       if (!draining_) spawn_ready();
       if (draining_) settle_unstarted();
+      write_farm_status(/*force=*/false);
       if (!finished()) sleep_ms(2);
     }
     report_.interrupted = draining_;
@@ -118,6 +122,8 @@ class Supervisor {
       report_.stats.quarantined += o.quarantined ? 1 : 0;
       report_.stats.interrupted += o.interrupted ? 1 : 0;
     }
+    report_.stats.elapsed_ms = now();
+    write_farm_status(/*force=*/true);
     return std::move(report_);
   }
 
@@ -300,6 +306,7 @@ class Supervisor {
     record.chaos_killed = slot.chaos_killed;
     record.chaos_stopped = slot.chaos_stopped;
     record.wall_ms = now() - slot.spawned_at;
+    report_.stats.attempt_wall_ms_total += record.wall_ms;
 
     switch (cls) {
       case ExitClass::Timeout: ++report_.stats.timeouts; break;
@@ -336,6 +343,96 @@ class Supervisor {
     outcome.attempts.push_back(record);
   }
 
+  /// Aggregates every worker's latest status.json heartbeat plus the
+  /// supervisor's own view into <dir>/farm_status.json — the "watch a sweep"
+  /// artifact. Wall-gated to the [prof] heartbeat period; a no-op unless
+  /// [prof] enabled. Atomic (tmp + rename) and failure-tolerant: liveness
+  /// reporting must never fail the sweep.
+  void write_farm_status(bool force) {
+    if (!options_.prof.enabled) return;
+    const std::int64_t t = now();
+    if (!force && last_status_ms_ >= 0 && t - last_status_ms_ < options_.prof.heartbeat_period_ms)
+      return;
+    last_status_ms_ = t;
+
+    std::int64_t running = 0, done = 0, completed = 0, quarantined = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      running += slots_[i].state == Slot::State::Running ? 1 : 0;
+      done += slots_[i].state == Slot::State::Done ? 1 : 0;
+      completed += report_.outcomes[i].completed ? 1 : 0;
+      quarantined += report_.outcomes[i].quarantined ? 1 : 0;
+    }
+
+    std::ostringstream os;
+    obs::JsonWriter w(os, 2);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("elapsed_ms", t);
+    w.field("draining", draining_);
+    w.field("configs", report_.stats.configs);
+    w.field("running", running);
+    w.field("done", done);
+    w.field("completed", completed);
+    w.field("quarantined", quarantined);
+    w.field("attempts", report_.stats.attempts);
+    w.field("attempt_wall_ms_total", report_.stats.attempt_wall_ms_total);
+    w.key("workers").begin_array();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      const std::string name = configs_[i].name();
+      w.begin_object();
+      w.field("config", name);
+      w.field("state", slot.state == Slot::State::Running
+                           ? "running"
+                           : (slot.state == Slot::State::Done ? status_of_outcome(i) : "ready"));
+      w.field("pid", slot.state == Slot::State::Running ? std::int64_t{slot.pid}
+                                                        : std::int64_t{-1});
+      w.field("attempts", std::int64_t{slot.attempts_used});
+      // Re-render the worker's atomic heartbeat through the parser so only a
+      // validated object is ever spliced in. Unreadable/unparseable → null.
+      std::string beat;
+      try {
+        const prof::HeartbeatInfo info =
+            prof::read_heartbeat_file(sweep_status_path(dir_, name));
+        beat = prof::render_heartbeat(info);
+        while (!beat.empty() && (beat.back() == '\n' || beat.back() == '\r')) beat.pop_back();
+      } catch (const std::exception&) {
+        beat.clear();
+      }
+      if (beat.empty())
+        w.key("heartbeat").null_value();
+      else
+        w.key("heartbeat").raw_value(beat);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+
+    const std::string path = (fs::path(dir_) / "farm_status.json").string();
+    const std::string tmp = path + ".tmp";
+    std::error_code ec;
+    {
+      std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+      if (!f) return;
+      f << os.str();
+      if (!f) {
+        f.close();
+        fs::remove(tmp, ec);
+        return;
+      }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) fs::remove(tmp, ec);
+  }
+
+  const char* status_of_outcome(std::size_t i) const {
+    const ConfigOutcome& o = report_.outcomes[i];
+    if (o.completed) return "ok";
+    if (o.quarantined) return "quarantined";
+    return "interrupted";
+  }
+
   void quarantine(std::size_t i, const ExitInfo& info, const AttemptRecord&) {
     ConfigOutcome& outcome = report_.outcomes[i];
     const std::string name = configs_[i].name();
@@ -357,6 +454,7 @@ class Supervisor {
   std::vector<Slot> slots_;
   FarmReport report_;
   bool draining_ = false;
+  std::int64_t last_status_ms_ = -1;  ///< farm_status.json wall gate
 };
 
 }  // namespace

@@ -70,6 +70,8 @@ struct FarmStats {
   std::int64_t sigkill_escalations = 0;
   std::int64_t chaos_kills = 0;
   std::int64_t chaos_stops = 0;
+  std::int64_t attempt_wall_ms_total = 0;  ///< summed wall-clock of every attempt
+  std::int64_t elapsed_ms = 0;             ///< whole-farm wall-clock, start to settle
 };
 
 struct FarmReport {

@@ -28,6 +28,10 @@ std::string sweep_err_path(const std::string& dir, const std::string& config_nam
   return (fs::path(dir) / (config_name + ".err")).string();
 }
 
+std::string sweep_status_path(const std::string& dir, const std::string& config_name) {
+  return (fs::path(dir) / (config_name + ".status.json")).string();
+}
+
 ExperimentResult run_sweep_config(const Workload& workload, const ExperimentConfig& config,
                                   const ExperimentOptions& sweep_options,
                                   const DragonflyTopology* shared_topo) {
@@ -41,6 +45,10 @@ ExperimentResult run_sweep_config(const Workload& workload, const ExperimentConf
     return ckpt::load_result(done_path);
   ExperimentOptions per_config = sweep_options;
   per_config.checkpoint.path = ckpt_path;
+  // Liveness: with [prof] enabled every sweep step heartbeats into its own
+  // status.json (farm workers AND run_matrix thread-pool steps take this
+  // path); the supervisor aggregates them into farm_status.json.
+  if (per_config.prof.enabled) per_config.prof.status_path = sweep_status_path(dir, name);
   ExperimentResult result = run_experiment(workload, config, per_config, shared_topo);
   if (!result.stopped_at_checkpoint) {
     ckpt::save_result(done_path, result);

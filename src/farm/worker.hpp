@@ -22,6 +22,8 @@ namespace dfly::farm {
 std::string sweep_ckpt_path(const std::string& dir, const std::string& config_name);
 std::string sweep_done_path(const std::string& dir, const std::string& config_name);
 std::string sweep_err_path(const std::string& dir, const std::string& config_name);
+/// Liveness heartbeat ([prof] enabled): <dir>/<config>.status.json.
+std::string sweep_status_path(const std::string& dir, const std::string& config_name);
 
 /// Runs one config of a sweep with the .ckpt/.done marker protocol:
 /// with checkpoint.resume set, a .done marker short-circuits to the stored

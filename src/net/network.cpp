@@ -6,6 +6,7 @@
 
 #include "ckpt/snapshot_io.hpp"
 #include "obs/trace.hpp"
+#include "prof/profiler.hpp"
 
 namespace dfly {
 
@@ -149,7 +150,13 @@ void Network::try_inject(NodeId node, SimTime now) {
   chunk.msg = head.msg;
   chunk.bytes = static_cast<std::int32_t>(size);
   chunk.hop_idx = 0;
-  chunk.route = routing_.compute(m.src, m.dst, *this, lane_rng());
+  {
+    // Attribution nests: this routing time is also inside the dispatch time
+    // the engine records for the surrounding event (inclusive accounting).
+    prof::ProfScope prof_scope(engine_.profiler(), prof::Subsystem::Routing,
+                               engine_.current_lane());
+    chunk.route = routing_.compute(m.src, m.dst, *this, lane_rng());
+  }
   assert(chunk.route.size() > 0);
 
   HopStats& hs = hop_stats_[node];
@@ -407,6 +414,8 @@ void Network::handle_event(SimTime now, const EventPayload& payload) {
       break;
     }
     case kRetransmit: {
+      prof::ProfScope prof_scope(engine_.profiler(), prof::Subsystem::NicRetransmit,
+                                 engine_.current_lane());
       const auto mid = static_cast<MsgId>(payload.b);
       MessageRecord& m = msgs_[mid];
       assert(m.active && m.drop_pending > 0);

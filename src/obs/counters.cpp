@@ -31,6 +31,7 @@ bool CounterSnapshot::contains(const std::string& name) const {
 void write_snapshot_jsonl(std::ostream& os, const CounterSnapshot& snap) {
   obs::JsonWriter w(os, /*indent=*/0);
   w.begin_object();
+  w.field("schema_version", 2);
   w.field("time_ns", snap.time);
   for (const auto& [name, value] : snap.values) w.field(name, value);
   w.end_object();

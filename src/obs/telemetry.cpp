@@ -171,6 +171,7 @@ bool write_metrics_json(const std::string& path, const RunTelemetry& telemetry,
   const RunMetrics& m = result.metrics;
   obs::JsonWriter w(f, 2);
   w.begin_object();
+  w.field("schema_version", 2);
   w.field("config", result.config);
   w.field("makespan_ms", m.makespan_ms);
   w.field("median_comm_ms", m.median_comm_ms());

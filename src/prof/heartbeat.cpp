@@ -1,0 +1,168 @@
+#include "prof/heartbeat.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/json.hpp"
+#include "prof/profiler.hpp"
+
+namespace dfly::prof {
+
+namespace fs = std::filesystem;
+
+std::int64_t read_rss_bytes() {
+  // statm field 2 is resident pages; multiply by the page size. Any failure
+  // (non-Linux, hidepid) degrades to 0 — liveness must not depend on procfs.
+  std::ifstream in("/proc/self/statm");
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  if (!(in >> total_pages >> resident_pages)) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::int64_t>(resident_pages) * static_cast<std::int64_t>(page);
+}
+
+std::string render_heartbeat(const HeartbeatInfo& info) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema_version", info.schema_version);
+  w.field("config", info.config);
+  w.field("state", info.state);
+  w.field("pid", info.pid);
+  w.field("wall_ms", info.wall_ms);
+  w.field("sim_ns", info.sim_ns);
+  w.field("events", info.events);
+  w.field("events_per_sec", info.events_per_sec);
+  w.field("rss_bytes", info.rss_bytes);
+  w.field("last_ckpt_age_ms", info.last_ckpt_age_ms);
+  w.field("slices", info.slices);
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Finds `"key":` in `text` and returns the raw token after it (up to the next
+// ',', '}' or newline), or nullopt. Good enough for the flat schema above.
+bool find_raw(const std::string& text, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  while (begin < text.size() && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  std::size_t end = begin;
+  if (begin < text.size() && text[begin] == '"') {
+    end = text.find('"', begin + 1);
+    if (end == std::string::npos) return false;
+    *out = text.substr(begin + 1, end - begin - 1);
+    return true;
+  }
+  while (end < text.size() && text[end] != ',' && text[end] != '}' && text[end] != '\n') ++end;
+  *out = text.substr(begin, end - begin);
+  return true;
+}
+
+std::int64_t require_int(const std::string& text, const std::string& key) {
+  std::string raw;
+  if (!find_raw(text, key, &raw))
+    throw std::runtime_error("heartbeat: missing field: " + key);
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    throw std::runtime_error("heartbeat: malformed field: " + key);
+  }
+}
+
+std::string require_string(const std::string& text, const std::string& key) {
+  std::string raw;
+  if (!find_raw(text, key, &raw))
+    throw std::runtime_error("heartbeat: missing field: " + key);
+  return raw;
+}
+
+}  // namespace
+
+HeartbeatInfo parse_heartbeat(const std::string& text) {
+  HeartbeatInfo info;
+  info.schema_version = static_cast<int>(require_int(text, "schema_version"));
+  info.config = require_string(text, "config");
+  info.state = require_string(text, "state");
+  info.pid = require_int(text, "pid");
+  info.wall_ms = require_int(text, "wall_ms");
+  info.sim_ns = require_int(text, "sim_ns");
+  info.events = require_int(text, "events");
+  std::string raw;
+  if (!find_raw(text, "events_per_sec", &raw))
+    throw std::runtime_error("heartbeat: missing field: events_per_sec");
+  try {
+    info.events_per_sec = std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::runtime_error("heartbeat: malformed field: events_per_sec");
+  }
+  info.rss_bytes = require_int(text, "rss_bytes");
+  info.last_ckpt_age_ms = require_int(text, "last_ckpt_age_ms");
+  info.slices = require_int(text, "slices");
+  return info;
+}
+
+HeartbeatInfo read_heartbeat_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("heartbeat: cannot read: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_heartbeat(os.str());
+}
+
+HeartbeatWriter::HeartbeatWriter(std::string path, std::int64_t period_ms)
+    : path_(std::move(path)),
+      period_ns_(period_ms * 1'000'000),
+      started_ns_(Profiler::now_ns()) {}
+
+bool HeartbeatWriter::beat(HeartbeatInfo info, bool force) {
+  if (path_.empty()) return false;
+  const std::int64_t now = Profiler::now_ns();
+  if (!force && last_write_ns_ != 0 && now - last_write_ns_ < period_ns_) return false;
+
+  info.schema_version = kHeartbeatSchemaVersion;
+  info.pid = static_cast<std::int64_t>(::getpid());
+  info.wall_ms = (now - started_ns_) / 1'000'000;
+  info.rss_bytes = read_rss_bytes();
+  info.last_ckpt_age_ms = last_ckpt_ns_ < 0 ? -1 : (now - last_ckpt_ns_) / 1'000'000;
+  const double wall_s = static_cast<double>(now - started_ns_) / 1e9;
+  info.events_per_sec = wall_s > 0.0 ? static_cast<double>(info.events) / wall_s : 0.0;
+
+  // Atomic but deliberately not durable: a heartbeat lost to a power cut is
+  // stale the next period anyway; what matters is that readers never see a
+  // torn file.
+  const std::string tmp = path_ + ".tmp";
+  std::error_code ec;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << render_heartbeat(info);
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  last_write_ns_ = now;
+  return true;
+}
+
+void HeartbeatWriter::note_checkpoint() { last_ckpt_ns_ = Profiler::now_ns(); }
+
+}  // namespace dfly::prof

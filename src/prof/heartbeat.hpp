@@ -1,0 +1,80 @@
+// Farm liveness: periodic, atomically-replaced status.json heartbeats.
+//
+// Each sweep worker (process-farm child or thread-pool sweep step) writes a
+// one-object status.json next to its checkpoint at every slice boundary, wall
+// gated to ProfOptions::heartbeat_period_ms — so a 10^4-config sweep is
+// observable mid-flight: current config, sim progress, events/s, RSS and the
+// age of the last checkpoint. Writes go through tmp + rename, so a reader (or
+// a SIGKILL) always sees a complete JSON object, never a torn one.
+//
+// The supervisor parses the flat schema back with parse_heartbeat() and
+// aggregates every worker's latest beat into <sweep_dir>/farm_status.json
+// (src/farm/supervisor.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfly::prof {
+
+inline constexpr int kHeartbeatSchemaVersion = 1;
+
+/// One parsed heartbeat; field order mirrors the JSON.
+struct HeartbeatInfo {
+  int schema_version = 0;
+  std::string config;
+  std::string state;  ///< "starting" | "running" | "done" | "interrupted"
+  std::int64_t pid = 0;
+  std::int64_t wall_ms = 0;        ///< wall time since the run started
+  std::int64_t sim_ns = 0;         ///< current simulation clock
+  std::int64_t events = 0;         ///< events processed so far
+  double events_per_sec = 0.0;     ///< cumulative wall rate
+  std::int64_t rss_bytes = 0;      ///< current resident set (0 if unreadable)
+  std::int64_t last_ckpt_age_ms = -1;  ///< wall ms since the last snapshot; -1 = none yet
+  std::int64_t slices = 0;         ///< checkpoint slices completed
+};
+
+/// Current resident set size in bytes from /proc/self/statm; 0 when the
+/// proc file is unavailable (non-Linux or restricted).
+std::int64_t read_rss_bytes();
+
+/// Renders `info` as the status.json document (pretty-printed, trailing
+/// newline). Exposed for tests; writers use HeartbeatWriter.
+std::string render_heartbeat(const HeartbeatInfo& info);
+
+/// Parses a status.json document produced by render_heartbeat. Throws
+/// std::runtime_error on missing/malformed required fields. The parser is a
+/// scanner for the flat schema above, not a general JSON parser.
+HeartbeatInfo parse_heartbeat(const std::string& text);
+
+/// File variant; throws std::runtime_error when unreadable.
+HeartbeatInfo read_heartbeat_file(const std::string& path);
+
+/// Wall-gated atomic writer. beat() is cheap when called more often than the
+/// period: one clock read and a branch.
+class HeartbeatWriter {
+ public:
+  /// Writes to `path` (tmp + rename) at most once per `period_ms`, except for
+  /// forced beats. An empty path disables the writer entirely.
+  HeartbeatWriter(std::string path, std::int64_t period_ms);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Writes `info` if the period elapsed (or `force`). Fills pid/rss and the
+  /// wall clock fields the caller cannot know; returns true if a write
+  /// happened. I/O failures are swallowed — liveness reporting must never
+  /// fail a run.
+  bool beat(HeartbeatInfo info, bool force = false);
+
+  /// Marks the instant of a checkpoint save; subsequent beats report the age.
+  void note_checkpoint();
+
+ private:
+  std::string path_;
+  std::int64_t period_ns_;
+  std::int64_t started_ns_;
+  std::int64_t last_write_ns_ = 0;
+  std::int64_t last_ckpt_ns_ = -1;
+};
+
+}  // namespace dfly::prof

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ckpt/snapshot_io.hpp"
+#include "prof/profiler.hpp"
 
 namespace dfly {
 
@@ -41,6 +42,12 @@ void Engine::enable_sharding(const ShardingOptions& opts) {
   threads_ = opts.threads;
   pool_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) pool_.emplace_back([this] { worker_main(); });
+}
+
+void Engine::set_profiler(prof::Profiler* p) {
+  if (p != nullptr && p->lanes() != lanes())
+    throw std::invalid_argument("engine: profiler lane count must match engine lanes");
+  profiler_ = p;
 }
 
 SimTime Engine::event_now() const {
@@ -100,7 +107,13 @@ bool Engine::step() {
   const QueuedEvent ev = queue_.pop_min();
   now_ = ev.time;
   ++processed_;
-  ev.handler->handle_event(now_, ev.payload);
+  if (profiler_ == nullptr) {
+    ev.handler->handle_event(now_, ev.payload);
+  } else {
+    const std::int64_t t0 = prof::Profiler::now_ns();
+    ev.handler->handle_event(now_, ev.payload);
+    profiler_->record_dispatch(0, prof::Profiler::now_ns() - t0);
+  }
   return true;
 }
 
@@ -153,7 +166,13 @@ SimTime Engine::run_slice_sharded(SimTime deadline) {
       ++processed_;
       BatchCtx ctx{this, global_lane(), kMaxTime, ev.time};
       tls_batch_ = &ctx;
-      ev.handler->handle_event(now_, ev.payload);
+      if (profiler_ == nullptr) {
+        ev.handler->handle_event(now_, ev.payload);
+      } else {
+        const std::int64_t t0 = prof::Profiler::now_ns();
+        ev.handler->handle_event(now_, ev.payload);
+        profiler_->record_dispatch(global_lane(), prof::Profiler::now_ns() - t0);
+      }
       tls_batch_ = nullptr;
       continue;
     }
@@ -177,6 +196,7 @@ void Engine::run_batch(SimTime bound) {
     Lane& lane = lanes_[static_cast<std::size_t>(i)];
     if (!lane.queue.empty() && lane.queue.min().time <= bound) active_.push_back(i);
   }
+  if (profiler_ != nullptr) profiler_->begin_batch(active_);
   if (threads_ == 1 || active_.size() == 1 || pool_.empty()) {
     for (const int i : active_) run_lane(i, bound);
   } else {
@@ -192,11 +212,22 @@ void Engine::run_batch(SimTime bound) {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [this] { return done_workers_ == static_cast<int>(pool_.size()); });
   }
+  // The cv_done_ wait above is the happens-before edge that lets the
+  // coordinator read the per-lane busy accumulators the workers just wrote.
+  if (profiler_ != nullptr) profiler_->end_batch(active_);
   // Barrier: merge outboxes in lane order — a deterministic order that is
   // identical at every thread count — then let subsystems quiesce (the
   // network drains deferred cross-lane chunk frees here).
   merge_outboxes();
-  if (quiesce_hook_) quiesce_hook_();
+  if (quiesce_hook_) {
+    if (profiler_ == nullptr) {
+      quiesce_hook_();
+    } else {
+      const std::int64_t t0 = prof::Profiler::now_ns();
+      quiesce_hook_();
+      profiler_->add_flush(global_lane(), prof::Profiler::now_ns() - t0);
+    }
+  }
   std::uint64_t total = 0;
   for (const Lane& lane : lanes_) total += lane.processed;
   processed_ = total;
@@ -207,12 +238,19 @@ void Engine::run_lane(int lane_idx, SimTime bound) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_idx)];
   BatchCtx ctx{this, lane_idx, bound, 0};
   tls_batch_ = &ctx;
+  prof::Profiler* const p = profiler_;
   while (!lane.queue.empty() && lane.queue.min().time <= bound) {
     const QueuedEvent ev = lane.queue.pop_min();
     ctx.now = ev.time;
     lane.last_time = ev.time;
     ++lane.processed;
-    ev.handler->handle_event(ev.time, ev.payload);
+    if (p == nullptr) {
+      ev.handler->handle_event(ev.time, ev.payload);
+    } else {
+      const std::int64_t t0 = prof::Profiler::now_ns();
+      ev.handler->handle_event(ev.time, ev.payload);
+      p->record_dispatch(lane_idx, prof::Profiler::now_ns() - t0);
+    }
   }
   tls_batch_ = nullptr;
 }
@@ -247,9 +285,13 @@ void Engine::merge_outboxes() {
   const int nshards = static_cast<int>(lanes_.size()) - 1;
   for (int i = 0; i < nshards; ++i) {
     Lane& lane = lanes_[static_cast<std::size_t>(i)];
+    if (lane.outbox.empty()) continue;  // also skips the clock reads below
+    std::int64_t t0 = 0;
+    if (profiler_ != nullptr) t0 = prof::Profiler::now_ns();
     for (const auto& [target, ev] : lane.outbox)
       lanes_[static_cast<std::size_t>(target)].queue.push(ev);
     lane.outbox.clear();
+    if (profiler_ != nullptr) profiler_->add_flush(i, prof::Profiler::now_ns() - t0);
   }
 }
 

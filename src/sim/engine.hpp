@@ -39,6 +39,10 @@
 
 namespace dfly {
 
+namespace prof {
+class Profiler;
+}  // namespace prof
+
 /// Configuration for the sharded parallel engine (DESIGN.md §10).
 struct ShardingOptions {
   int shards = 0;         ///< shard lanes; one per dragonfly group
@@ -77,6 +81,14 @@ class Engine {
   /// outboxes merge, before the next batch). The network drains its deferred
   /// cross-lane chunk frees here, in deterministic lane order.
   void set_quiesce_hook(std::function<void()> hook) { quiesce_hook_ = std::move(hook); }
+
+  /// Attaches a wall-clock profiler (src/prof/, DESIGN.md §11): dispatch
+  /// times, per-lane busy/barrier-wait/flush phases. The profiler's lane
+  /// count must match lanes(); nullptr detaches. Pure observability — the
+  /// hooks read the monotonic clock and write profiler-owned accumulators
+  /// only, so attaching one never changes simulation behaviour.
+  void set_profiler(prof::Profiler* p);
+  prof::Profiler* profiler() const { return profiler_; }
 
   /// Schedules `payload` for delivery to `handler` at absolute time `when`.
   /// `when` must not precede the current time. In sharded mode the event is
@@ -189,6 +201,7 @@ class Engine {
   bool hit_limit_ = false;
   bool stop_requested_ = false;
   mutable SchedulerStats agg_stats_;
+  prof::Profiler* profiler_ = nullptr;
 
   // --- sharded state (empty/idle when unsharded) ---
   std::vector<Lane> lanes_;  ///< shards + 1 (last = global lane)

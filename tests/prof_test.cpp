@@ -1,0 +1,498 @@
+// Profiler suite (DESIGN.md §11): the wall-clock attribution subsystem and
+// its cardinal invariant — profiling must not perturb the simulation. The
+// differential tests run the same experiment with [prof] off and on (serial
+// and sharded), across thread counts, and through a checkpoint interrupt +
+// resume, and require every existing artifact to stay byte-identical;
+// prof.json is the one artifact allowed to carry wall-clock values. Plus unit
+// coverage for the HDR-style histogram edge cases, the sim-vs-wall throughput
+// tracker, atomic heartbeat writes, and the [prof] config section.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/experiment.hpp"
+#include "farm/manifest.hpp"
+#include "farm/supervisor.hpp"
+#include "farm/worker.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/profiler.hpp"
+#include "prof/wall_histogram.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+namespace fs = std::filesystem;
+using prof::HeartbeatInfo;
+using prof::HeartbeatWriter;
+using prof::ThroughputTracker;
+using prof::WallHistogram;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// WallHistogram
+// ---------------------------------------------------------------------------
+
+TEST(WallHistogramTest, EmptyHistogramReportsZeros) {
+  const WallHistogram h(3);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+  EXPECT_EQ(h.percentile(100.0), 0);
+}
+
+TEST(WallHistogramTest, RejectsOutOfRangeResolution) {
+  EXPECT_THROW(WallHistogram(-1), std::invalid_argument);
+  EXPECT_THROW(WallHistogram(9), std::invalid_argument);
+  EXPECT_NO_THROW(WallHistogram(0));
+  EXPECT_NO_THROW(WallHistogram(8));
+}
+
+TEST(WallHistogramTest, NegativeValuesClampToZero) {
+  // A non-monotonic clock step must not corrupt the bucket index or the sums.
+  WallHistogram h(3);
+  h.add(-100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+}
+
+TEST(WallHistogramTest, HugeValuesClampIntoTheTopBucket) {
+  WallHistogram h(3);
+  h.add(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(h.percentile(100.0), 0);
+  EXPECT_LE(h.percentile(100.0), h.max());
+}
+
+TEST(WallHistogramTest, PercentilesAreMonotonicAndBoundSamples) {
+  WallHistogram h(3);
+  for (std::int64_t v = 1; v <= 1000; ++v) h.add(v * 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  const std::int64_t p50 = h.percentile(50.0);
+  const std::int64_t p90 = h.percentile(90.0);
+  const std::int64_t p99 = h.percentile(99.0);
+  const std::int64_t p100 = h.percentile(100.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p100);
+  // percentile() returns bucket lower bounds; bits=3 keeps relative error
+  // under one octave.
+  EXPECT_GE(p100, h.max() / 2);
+  EXPECT_LE(p100, h.max());
+  EXPECT_GE(p50, 1000);
+  // Out-of-range p clamps instead of indexing out of bounds.
+  EXPECT_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(200.0), p100);
+}
+
+TEST(WallHistogramTest, MergeSumsSamplesAndRequiresSameResolution) {
+  WallHistogram a(3);
+  WallHistogram b(3);
+  a.add(10);
+  b.add(30);
+  b.add(50);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 90);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 50);
+  const WallHistogram coarser(2);
+  EXPECT_THROW(a.merge(coarser), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ThroughputTracker (explicit wall clock — no sleeping in tests)
+// ---------------------------------------------------------------------------
+
+TEST(ThroughputTrackerTest, CumulativeRatesFromExplicitClock) {
+  ThroughputTracker t;
+  t.start_at(0, 0, 0, 0);
+  t.sample_at(2'000'000'000, 4'000'000'000, 1000, 500);  // 2s wall, 4s sim
+  EXPECT_EQ(t.samples(), 1u);
+  EXPECT_EQ(t.wall_ns(), 2'000'000'000);
+  const ThroughputTracker::Rates r = t.cumulative();
+  EXPECT_DOUBLE_EQ(r.events_per_sec, 500.0);
+  EXPECT_DOUBLE_EQ(r.chunks_per_sec, 250.0);
+  EXPECT_DOUBLE_EQ(r.sim_per_wall, 2.0);
+}
+
+TEST(ThroughputTrackerTest, RollingWindowTracksTheRecentRate) {
+  ThroughputTracker t;
+  t.start_at(0, 0, 0, 0);
+  std::int64_t wall = 0;
+  std::uint64_t events = 0;
+  // Four slow seconds (100 ev/s) then eight fast ones (1000 ev/s): the
+  // rolling window (kWindow = 8) should see only the fast phase.
+  for (int i = 0; i < 4; ++i) {
+    wall += 1'000'000'000;
+    events += 100;
+    t.sample_at(wall, wall, events, 0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    wall += 1'000'000'000;
+    events += 1000;
+    t.sample_at(wall, wall, events, 0);
+  }
+  EXPECT_DOUBLE_EQ(t.rolling().events_per_sec, 1000.0);
+  EXPECT_DOUBLE_EQ(t.cumulative().events_per_sec, (4 * 100 + 8 * 1000) / 12.0);
+}
+
+TEST(ThroughputTrackerTest, ZeroWallSpanYieldsZeroRates) {
+  ThroughputTracker t;
+  t.start_at(5, 0, 0, 0);
+  t.sample_at(5, 1'000'000, 42, 7);
+  EXPECT_DOUBLE_EQ(t.cumulative().events_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(t.cumulative().sim_per_wall, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+HeartbeatInfo sample_heartbeat() {
+  HeartbeatInfo info;
+  info.schema_version = prof::kHeartbeatSchemaVersion;
+  info.config = "contiguous-minimal";
+  info.state = "running";
+  info.pid = 4242;
+  info.wall_ms = 1234;
+  info.sim_ns = 5'000'000;
+  info.events = 987654;
+  info.events_per_sec = 12345.5;
+  info.rss_bytes = 64 << 20;
+  info.last_ckpt_age_ms = 250;
+  info.slices = 7;
+  return info;
+}
+
+TEST(HeartbeatTest, RenderParseRoundTrips) {
+  const HeartbeatInfo in = sample_heartbeat();
+  const HeartbeatInfo out = prof::parse_heartbeat(prof::render_heartbeat(in));
+  EXPECT_EQ(out.schema_version, in.schema_version);
+  EXPECT_EQ(out.config, in.config);
+  EXPECT_EQ(out.state, in.state);
+  EXPECT_EQ(out.pid, in.pid);
+  EXPECT_EQ(out.wall_ms, in.wall_ms);
+  EXPECT_EQ(out.sim_ns, in.sim_ns);
+  EXPECT_EQ(out.events, in.events);
+  EXPECT_NEAR(out.events_per_sec, in.events_per_sec, 0.1);
+  EXPECT_EQ(out.rss_bytes, in.rss_bytes);
+  EXPECT_EQ(out.last_ckpt_age_ms, in.last_ckpt_age_ms);
+  EXPECT_EQ(out.slices, in.slices);
+}
+
+TEST(HeartbeatTest, ParserRejectsMissingAndMalformedFields) {
+  EXPECT_THROW(prof::parse_heartbeat("{}"), std::runtime_error);
+  EXPECT_THROW(prof::parse_heartbeat(""), std::runtime_error);
+  std::string text = prof::render_heartbeat(sample_heartbeat());
+  const std::size_t at = text.find("\"pid\": 4242");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::string("\"pid\": 4242").size(), "\"pid\": oops");
+  EXPECT_THROW(prof::parse_heartbeat(text), std::runtime_error);
+}
+
+TEST(HeartbeatTest, WriterIsAtomicAndWallGated) {
+  const std::string path = temp_path("hb-atomic.status.json");
+  fs::remove(path);
+  HeartbeatWriter w(path, /*period_ms=*/60'000);
+  EXPECT_TRUE(w.enabled());
+
+  HeartbeatInfo info;
+  info.config = "cfg";
+  info.state = "running";
+  EXPECT_TRUE(w.beat(info));  // first beat always lands
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "rename must consume the temp file";
+
+  const HeartbeatInfo parsed = prof::read_heartbeat_file(path);
+  EXPECT_EQ(parsed.schema_version, prof::kHeartbeatSchemaVersion);
+  EXPECT_EQ(parsed.config, "cfg");
+  EXPECT_EQ(parsed.pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(parsed.last_ckpt_age_ms, -1) << "no checkpoint noted yet";
+
+  EXPECT_FALSE(w.beat(info)) << "inside the period, an unforced beat is a no-op";
+  w.note_checkpoint();
+  EXPECT_TRUE(w.beat(info, /*force=*/true));
+  EXPECT_GE(prof::read_heartbeat_file(path).last_ckpt_age_ms, 0);
+  fs::remove(path);
+}
+
+TEST(HeartbeatTest, EmptyPathDisablesTheWriter) {
+  HeartbeatWriter w("", 1);
+  EXPECT_FALSE(w.enabled());
+  EXPECT_FALSE(w.beat(HeartbeatInfo{}, /*force=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// [prof] config section
+// ---------------------------------------------------------------------------
+
+TEST(ProfConfig, OptionsValidate) {
+  EXPECT_NO_THROW(prof::ProfOptions{}.validate());
+  prof::ProfOptions bad;
+  bad.heartbeat_period_ms = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = prof::ProfOptions{};
+  bad.hist_bucket_bits = 9;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.hist_bucket_bits = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ProfConfig, RoundTripsThroughConfigText) {
+  ExperimentOptions o;
+  o.prof.enabled = true;
+  o.prof.heartbeat_period_ms = 250;
+  o.prof.hist_bucket_bits = 5;
+  const std::string text = render_config(o);
+  EXPECT_NE(text.find("[prof]"), std::string::npos);
+  std::istringstream is(text);
+  const ExperimentOptions parsed = parse_config(is, ExperimentOptions{});
+  EXPECT_TRUE(parsed.prof.enabled);
+  EXPECT_EQ(parsed.prof.heartbeat_period_ms, 250);
+  EXPECT_EQ(parsed.prof.hist_bucket_bits, 5);
+  EXPECT_TRUE(parsed.prof.status_path.empty()) << "status_path is runtime wiring, never config";
+}
+
+TEST(ProfConfig, RejectsBadValues) {
+  std::istringstream zero_period("[prof]\nheartbeat_period_ms = 0\n");
+  EXPECT_THROW(parse_config(zero_period, ExperimentOptions{}), std::invalid_argument);
+  std::istringstream bits_too_high("[prof]\nhist_bucket_bits = 9\n");
+  EXPECT_THROW(parse_config(bits_too_high, ExperimentOptions{}), std::invalid_argument);
+  std::istringstream non_bool("[prof]\nenabled = 2\n");
+  EXPECT_THROW(parse_config(non_bool, ExperimentOptions{}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// The cardinal invariant: profiling does not perturb the simulation
+// ---------------------------------------------------------------------------
+
+Workload prof_workload() { return {"ring", make_ring_trace(24, 32 * units::kKiB, 2)}; }
+
+ExperimentOptions prof_options(const std::string& telemetry_dir, int threads) {
+  ExperimentOptions o;
+  o.topo = TopoParams::tiny();
+  o.seed = 11;
+  o.threads = threads;
+  o.max_events = 100'000'000;
+  o.telemetry.enabled = true;
+  o.telemetry.sample_rate = 0.05;
+  o.telemetry.snapshot_interval = 20 * units::kMicrosecond;
+  o.telemetry.out_dir = temp_path(telemetry_dir);
+  return o;
+}
+
+const char* const kArtifacts[] = {"metrics.json", "counters.jsonl", "heatmap.csv", "trace.json"};
+
+void expect_artifacts_byte_equal(const ExperimentOptions& a, const ExperimentOptions& b,
+                                 const std::string& config_name, const std::string& what) {
+  for (const char* artifact : kArtifacts) {
+    const std::string lhs = slurp(a.telemetry.out_dir + "/" + config_name + "/" + artifact);
+    const std::string rhs = slurp(b.telemetry.out_dir + "/" + config_name + "/" + artifact);
+    ASSERT_FALSE(lhs.empty()) << artifact;
+    EXPECT_EQ(lhs, rhs) << artifact << " differs: " << what;
+  }
+}
+
+void expect_prof_does_not_perturb(int threads, const std::string& tag) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Adaptive};
+  const Workload workload = prof_workload();
+
+  ExperimentOptions off = prof_options(tag + "-off", threads);
+  const ExperimentResult r_off = run_experiment(workload, config, off);
+  ASSERT_TRUE(r_off.conservation_ok);
+  ASSERT_GT(r_off.metrics.events, 0u);
+
+  ExperimentOptions on = prof_options(tag + "-on", threads);
+  on.prof.enabled = true;
+  const ExperimentResult r_on = run_experiment(workload, config, on);
+  EXPECT_EQ(r_on.metrics.events, r_off.metrics.events);
+  EXPECT_EQ(r_on.metrics.makespan_ms, r_off.metrics.makespan_ms);
+  EXPECT_EQ(r_on.metrics.comm_time_ms, r_off.metrics.comm_time_ms);
+
+  expect_artifacts_byte_equal(off, on, config.name(), "profiling on vs off");
+  EXPECT_FALSE(fs::exists(off.telemetry.out_dir + "/" + config.name() + "/prof.json"));
+  EXPECT_TRUE(fs::exists(on.telemetry.out_dir + "/" + config.name() + "/prof.json"));
+}
+
+TEST(ProfDifferential, SerialRunIsByteIdenticalWithProfilingOnOrOff) {
+  expect_prof_does_not_perturb(/*threads=*/0, "prof-serial");
+}
+
+TEST(ProfDifferential, ShardedRunIsByteIdenticalWithProfilingOnOrOff) {
+  expect_prof_does_not_perturb(/*threads=*/2, "prof-shard");
+}
+
+TEST(ProfDifferential, ThreadCountsAgreeByteForByteWithProfilingOn) {
+  const ExperimentConfig config{PlacementKind::RandomNode, RoutingKind::Adaptive};
+  const Workload workload = prof_workload();
+
+  ExperimentOptions oracle = prof_options("prof-t1", 1);
+  oracle.prof.enabled = true;
+  const ExperimentResult r1 = run_experiment(workload, config, oracle);
+  ASSERT_TRUE(r1.conservation_ok);
+
+  ExperimentOptions par = prof_options("prof-t2", 2);
+  par.prof.enabled = true;
+  const ExperimentResult r2 = run_experiment(workload, config, par);
+  EXPECT_EQ(r2.metrics.events, r1.metrics.events);
+  expect_artifacts_byte_equal(oracle, par, config.name(), "threads 1 vs 2, profiling on");
+}
+
+TEST(ProfDifferential, CheckpointResumeWithProfilingOnStaysByteIdentical) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Adaptive};
+  const Workload workload = prof_workload();
+
+  ExperimentOptions golden_opts = prof_options("prof-ck-golden", 2);
+  golden_opts.prof.enabled = true;
+  const ExperimentResult golden = run_experiment(workload, config, golden_opts);
+  const SimTime makespan = static_cast<SimTime>(golden.metrics.makespan_ms * 1e6);
+  ASSERT_GT(makespan, 0);
+
+  const std::string snapshot = temp_path("prof-ck.ckpt");
+  const std::string status = temp_path("prof-ck.status.json");
+  ExperimentOptions interrupted = prof_options("prof-ck-resumed", 2);
+  interrupted.prof.enabled = true;
+  interrupted.prof.status_path = status;
+  interrupted.checkpoint.interval = makespan / 6 > 0 ? makespan / 6 : 1;
+  interrupted.checkpoint.path = snapshot;
+  interrupted.checkpoint.stop_after = makespan / 2;
+  const ExperimentResult partial = run_experiment(workload, config, interrupted);
+  ASSERT_TRUE(partial.stopped_at_checkpoint);
+
+  // The interrupted run heartbeat: final forced beat reports the state.
+  const HeartbeatInfo hb = prof::read_heartbeat_file(status);
+  EXPECT_EQ(hb.state, "interrupted");
+  EXPECT_GT(hb.sim_ns, 0);
+
+  ExperimentOptions resumed = interrupted;
+  resumed.checkpoint.resume = true;
+  resumed.checkpoint.stop_after = 0;
+  const ExperimentResult full = run_experiment(workload, config, resumed);
+  EXPECT_EQ(full.metrics.events, golden.metrics.events);
+  EXPECT_EQ(full.metrics.comm_time_ms, golden.metrics.comm_time_ms);
+  expect_artifacts_byte_equal(golden_opts, resumed, config.name(),
+                              "checkpoint resume with profiling on");
+  EXPECT_EQ(prof::read_heartbeat_file(status).state, "done");
+  std::remove(snapshot.c_str());
+  std::remove(status.c_str());
+}
+
+TEST(ProfReport, ProfJsonCarriesAttributionAndLaneBreakdown) {
+  const ExperimentConfig config{PlacementKind::Contiguous, RoutingKind::Minimal};
+  ExperimentOptions o = prof_options("prof-report", 2);
+  o.prof.enabled = true;
+  const ExperimentResult r = run_experiment(prof_workload(), config, o);
+  ASSERT_GT(r.metrics.events, 0u);
+
+  const std::string text = slurp(o.telemetry.out_dir + "/" + config.name() + "/prof.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(contains(text, "\"schema_version\": 1"));
+  for (const char* subsystem :
+       {"event_dispatch", "routing", "nic_retransmit", "checkpoint_io", "telemetry_export"})
+    EXPECT_TRUE(contains(text, subsystem)) << subsystem;
+  EXPECT_TRUE(contains(text, "\"lanes_breakdown\""));
+  EXPECT_TRUE(contains(text, "\"barrier_wait_ns\""));
+  EXPECT_TRUE(contains(text, "\"lane_imbalance\""));
+  EXPECT_TRUE(contains(text, "\"barrier_stall_fraction\""));
+  EXPECT_TRUE(contains(text, "\"throughput\""));
+  EXPECT_TRUE(contains(text, "\"p99.9\""));
+  // threads=2 shards per group: more than one lane must appear.
+  std::size_t lane_entries = 0;
+  for (std::size_t at = text.find("\"lane\":"); at != std::string::npos;
+       at = text.find("\"lane\":", at + 1))
+    ++lane_entries;
+  EXPECT_GT(lane_entries, 1u);
+
+  // The other new artifact fields ride along: schema versions in the
+  // telemetry exports.
+  EXPECT_TRUE(contains(slurp(o.telemetry.out_dir + "/" + config.name() + "/metrics.json"),
+                       "\"schema_version\": 2"));
+  EXPECT_TRUE(contains(slurp(o.telemetry.out_dir + "/" + config.name() + "/counters.jsonl"),
+                       "\"schema_version\":2"));
+}
+
+// ---------------------------------------------------------------------------
+// Farm liveness: per-worker status.json + aggregated farm_status.json
+// ---------------------------------------------------------------------------
+
+TEST(ProfFarm, WorkersHeartbeatAndTheSupervisorAggregates) {
+  const Workload workload = prof_workload();
+  const std::vector<ExperimentConfig> configs = {
+      {PlacementKind::Contiguous, RoutingKind::Minimal},
+      {PlacementKind::RandomNode, RoutingKind::Adaptive}};
+
+  ExperimentOptions o;
+  o.topo = TopoParams::tiny();
+  o.seed = 11;
+  o.checkpoint.interval = 3 * units::kMicrosecond;
+  o.checkpoint.path = temp_path("prof-farm");
+  fs::remove_all(o.checkpoint.path);
+  o.farm.enabled = true;
+  o.farm.workers = 2;
+  o.farm.timeout_ms = 120'000;
+  o.farm.backoff_ms = 10;
+  o.prof.enabled = true;
+  const farm::FarmReport report = farm::run_farm(workload, configs, o);
+  ASSERT_TRUE(report.all_ok());
+
+  // Every worker left a final atomic heartbeat behind.
+  for (const ExperimentConfig& c : configs) {
+    const std::string path = farm::sweep_status_path(o.checkpoint.path, c.name());
+    ASSERT_TRUE(fs::exists(path)) << path;
+    const HeartbeatInfo hb = prof::read_heartbeat_file(path);
+    EXPECT_EQ(hb.config, c.name());
+    EXPECT_EQ(hb.state, "done");
+    EXPECT_GT(hb.events, 0);
+  }
+
+  // The supervisor's aggregate view.
+  const std::string status = slurp(o.checkpoint.path + "/farm_status.json");
+  ASSERT_FALSE(status.empty());
+  EXPECT_TRUE(contains(status, "\"schema_version\": 1"));
+  EXPECT_TRUE(contains(status, "\"workers\""));
+  EXPECT_TRUE(contains(status, "\"done\": 2"));
+  EXPECT_TRUE(contains(status, "\"attempt_wall_ms_total\""));
+  for (const ExperimentConfig& c : configs) EXPECT_TRUE(contains(status, c.name()));
+
+  // Wall-clock accounting surfaces in the farm stats artifact.
+  EXPECT_GE(report.stats.attempt_wall_ms_total, 0);
+  EXPECT_GE(report.stats.elapsed_ms, 0);
+  EXPECT_EQ(report.stats.completed, 2);
+  const std::string out_dir = temp_path("prof-farm-out");
+  fs::remove_all(out_dir);
+  farm::write_sweep_artifacts(out_dir, report);
+  const std::string stats = slurp(out_dir + "/farm_stats.json");
+  EXPECT_TRUE(contains(stats, "farm.attempt_wall_ms_total"));
+  EXPECT_TRUE(contains(stats, "farm.elapsed_ms"));
+  EXPECT_TRUE(contains(stats, "\"schema_version\":2"));
+}
+
+}  // namespace
+}  // namespace dfly
