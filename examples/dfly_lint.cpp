@@ -1,0 +1,83 @@
+// dfly_lint — the determinism linter (DESIGN.md section 12).
+//
+// Scans a source tree for violations of the bit-exact-reproducibility rules
+// (wall-clock reads, raw RNG, unordered iteration on artifact paths, pointer
+// ordering keys, stray raw-byte I/O, missing snapshot static_asserts),
+// prints a human report, optionally writes machine-readable lint.json, and
+// exits nonzero if any unannotated violation remains.
+//
+//   dfly_lint [--root=DIR] [--json=PATH] [--quiet]
+//
+// --root defaults to "src" (run from the repo checkout); CI passes the
+// absolute source dir and uploads the JSON artifact.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+const char* arg_value(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (const char* root_arg = arg_value(argv[i], "--root")) {
+      root = root_arg;
+    } else if (const char* json_arg = arg_value(argv[i], "--json")) {
+      json_path = json_arg;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: dfly_lint [--root=DIR] [--json=PATH] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "dfly_lint: unknown argument " << argv[i] << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  dfly::lint::LintResult result;
+  try {
+    result = dfly::lint::lint_tree(root);
+  } catch (const std::exception& e) {
+    std::cerr << "dfly_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "dfly_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    dfly::lint::write_lint_json(result, root, out);
+    out.flush();
+    if (!out) {
+      std::cerr << "dfly_lint: write failed for " << json_path << "\n";
+      return 2;
+    }
+  }
+
+  if (!quiet) {
+    for (const auto& v : result.violations)
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+    for (const auto& e : result.exemptions)
+      std::cout << e.file << ":" << e.line << ": exempt [" << e.rule << "] reason: " << e.reason
+                << "\n";
+    std::cout << "dfly_lint: " << result.files_scanned << " files, " << result.violations.size()
+              << " violation(s), " << result.exemptions.size() << " exemption(s)\n";
+  }
+  return result.clean() ? 0 : 1;
+}

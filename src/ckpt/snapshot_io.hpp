@@ -19,6 +19,7 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dfly::ckpt {
@@ -90,6 +91,10 @@ class Reader {
  private:
   template <typename T>
   T get() {
+    // The byte image must be the value itself: fixed-width integer scalars
+    // only, so the little-endian static_assert above covers every field.
+    static_assert(std::is_trivially_copyable_v<T> && std::is_integral_v<T>,
+                  "snapshot format reads fixed-width integer scalars only");
     need(sizeof(T));
     T v;
     __builtin_memcpy(&v, data_, sizeof v);

@@ -1,0 +1,213 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace dfly::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Encoding prefixes that may precede a string literal: u8R"( is the longest.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" || ident == "LR";
+}
+bool string_prefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from) const { return src_.substr(from, pos_ - from); }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Consumes a quoted literal whose opening quote was already taken.
+/// Backslash escapes are honored; an unterminated literal ends at newline
+/// (strings/chars cannot legally span lines) or EOF.
+void consume_quoted(Cursor& c, char quote) {
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\n') return;
+    c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+      continue;
+    }
+    if (ch == quote) return;
+  }
+}
+
+/// Consumes R"delim( ... )delim" with the opening quote already taken.
+void consume_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.done() && c.peek() != '(' && c.peek() != '\n') delim.push_back(c.take());
+  if (c.done() || c.peek() != '(') return;  // malformed; stop at what we have
+  c.take();                                 // '('
+  const std::string closer = ")" + delim + "\"";
+  std::string window;
+  while (!c.done()) {
+    window.push_back(c.take());
+    if (window.size() > closer.size()) window.erase(window.begin());
+    if (window == closer) return;
+  }
+}
+
+void consume_number(Cursor& c) {
+  // Consume the maximal pp-number-ish run: digits, letters (hex, suffixes,
+  // exponents), digit separators, dots, and signs directly after e/E/p/P.
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ident_char(ch) || ch == '.') {
+      c.take();
+      continue;
+    }
+    if (ch == '\'' && ident_char(c.peek(1))) {  // digit separator 1'000'000
+      c.take();
+      continue;
+    }
+    if ((ch == '+' || ch == '-')) {
+      const char prev = c.pos() > 0 ? c.slice(c.pos() - 1)[0] : '\0';
+      if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+        c.take();
+        continue;
+      }
+    }
+    break;
+  }
+}
+
+/// Consumes a preprocessor line including backslash continuations. A // or
+/// /* comment opener inside the directive ends it (the comment is lexed as
+/// its own token so annotation comments after #include lines still surface).
+void consume_pp(Cursor& c) {
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) return;
+    if (ch == '\\' && c.peek(1) == '\n') {
+      c.take();
+      c.take();
+      continue;
+    }
+    if (ch == '\n') return;
+    c.take();
+  }
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  Cursor c(src);
+  bool line_has_token = false;  // only a column-0-ish '#' starts a directive
+  int current_line = 1;
+
+  while (!c.done()) {
+    if (c.line() != current_line) {
+      current_line = c.line();
+      line_has_token = false;
+    }
+    const char ch = c.peek();
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.take();
+      continue;
+    }
+
+    const std::size_t start = c.pos();
+    const int line = c.line();
+
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.take();
+      out.push_back({TokKind::Comment, std::string(c.slice(start)), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.take();
+      c.take();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.take();
+      if (!c.done()) {
+        c.take();
+        c.take();
+      }
+      out.push_back({TokKind::Comment, std::string(c.slice(start)), line});
+      continue;
+    }
+    if (ch == '#' && !line_has_token) {
+      c.take();
+      consume_pp(c);
+      out.push_back({TokKind::Pp, std::string(c.slice(start)), line});
+      line_has_token = true;
+      continue;
+    }
+    line_has_token = true;
+
+    if (ident_start(ch)) {
+      c.take();
+      while (!c.done() && ident_char(c.peek())) c.take();
+      std::string ident(c.slice(start));
+      if (c.peek() == '"' && raw_string_prefix(ident)) {
+        c.take();
+        consume_raw_string(c);
+        out.push_back({TokKind::String, std::string(c.slice(start)), line});
+      } else if (c.peek() == '"' && string_prefix(ident)) {
+        c.take();
+        consume_quoted(c, '"');
+        out.push_back({TokKind::String, std::string(c.slice(start)), line});
+      } else if (c.peek() == '\'' && string_prefix(ident)) {
+        c.take();
+        consume_quoted(c, '\'');
+        out.push_back({TokKind::Char, std::string(c.slice(start)), line});
+      } else {
+        out.push_back({TokKind::Identifier, std::move(ident), line});
+      }
+      continue;
+    }
+    if (digit(ch) || (ch == '.' && digit(c.peek(1)))) {
+      c.take();
+      consume_number(c);
+      out.push_back({TokKind::Number, std::string(c.slice(start)), line});
+      continue;
+    }
+    if (ch == '"') {
+      c.take();
+      consume_quoted(c, '"');
+      out.push_back({TokKind::String, std::string(c.slice(start)), line});
+      continue;
+    }
+    if (ch == '\'') {
+      c.take();
+      consume_quoted(c, '\'');
+      out.push_back({TokKind::Char, std::string(c.slice(start)), line});
+      continue;
+    }
+    if (ch == ':' && c.peek(1) == ':') {
+      c.take();
+      c.take();
+      out.push_back({TokKind::Punct, "::", line});
+      continue;
+    }
+    c.take();
+    out.push_back({TokKind::Punct, std::string(1, ch), line});
+  }
+  return out;
+}
+
+}  // namespace dfly::lint

@@ -1,0 +1,45 @@
+// Comment- and string-aware C++ tokenizer for the determinism linter.
+//
+// dfly_lint enforces source-level rules (DESIGN.md section 12) and must never
+// fire on the word "time" inside a comment, a string literal, or a longer
+// identifier like transfer_time. A regex grep cannot make those distinctions;
+// a full libclang frontend is a dependency the container does not carry. This
+// lexer is the middle ground: it splits a translation unit into identifiers,
+// literals, punctuation, comments and preprocessor directives with line
+// numbers, which is exactly enough signal for every rule in rules.cpp.
+//
+// It is a lexer, not a parser: no macro expansion, no template
+// instantiation, no type information. Rules built on it are heuristics with
+// identifier-level precision, and every rule supports an auditable
+// `// dfly-lint: allow(<rule>) reason=...` escape hatch for the cases the
+// heuristic cannot see through.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfly::lint {
+
+enum class TokKind {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,      ///< integer/float literal including 0x / digit separators
+  String,      ///< "..." or raw R"(...)" including encoding prefixes
+  Char,        ///< '...'
+  Punct,       ///< single punctuation char, except "::" which is one token
+  Comment,     ///< // to end of line, or /* ... */ (text includes delimiters)
+  Pp,          ///< whole preprocessor line (backslash continuations joined)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes `src`. Never throws on malformed input (an unterminated string
+/// or comment simply ends at EOF) — the linter must be able to scan any file
+/// the compiler has not seen yet.
+std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace dfly::lint

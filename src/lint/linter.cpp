@@ -1,0 +1,108 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dfly::lint {
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+LintResult lint_sources(const std::vector<MemSource>& sources) {
+  std::map<std::string, SourceFile> files;
+  for (const MemSource& src : sources) {
+    SourceFile file;
+    file.rel = src.rel;
+    file.module = module_of(src.rel);
+    file.tokens = tokenize(src.content);
+    file.includes = quoted_includes(file.tokens);
+    files.emplace(src.rel, std::move(file));
+  }
+  return run_rules(files);
+}
+
+LintResult lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+  if (!fs::is_directory(base)) throw std::runtime_error("lint: not a directory: " + root);
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (entry.is_regular_file() && lintable(entry.path())) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<MemSource> sources;
+  sources.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw std::runtime_error("lint: cannot read " + p.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    sources.push_back({fs::relative(p, base).generic_string(), text.str()});
+  }
+  return lint_sources(sources);
+}
+
+void write_lint_json(const LintResult& result, const std::string& root, std::ostream& os) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema_version", 1);
+  w.field("root", root);
+  w.field("files_scanned", result.files_scanned);
+  w.field("violation_count", static_cast<std::uint64_t>(result.violations.size()));
+  w.field("exemption_count", static_cast<std::uint64_t>(result.exemptions.size()));
+
+  // Per-rule tallies, keyed by canonical rule id (sorted for stable bytes).
+  std::map<std::string, std::pair<int, int>> per_rule;  // rule -> {violations, exemptions}
+  for (const Violation& v : result.violations) per_rule[v.rule].first++;
+  for (const Exemption& e : result.exemptions) per_rule[e.rule].second++;
+  w.key("rules");
+  w.begin_object();
+  for (const auto& [rule, counts] : per_rule) {
+    w.key(rule);
+    w.begin_object();
+    w.field("violations", counts.first);
+    w.field("exemptions", counts.second);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("violations");
+  w.begin_array();
+  for (const Violation& v : result.violations) {
+    w.begin_object();
+    w.field("rule", v.rule);
+    w.field("file", v.file);
+    w.field("line", v.line);
+    w.field("message", v.message);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("exemptions");
+  w.begin_array();
+  for (const Exemption& e : result.exemptions) {
+    w.begin_object();
+    w.field("rule", e.rule);
+    w.field("file", e.file);
+    w.field("line", e.line);
+    w.field("reason", e.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace dfly::lint

@@ -1,0 +1,31 @@
+// Entry points for dfly_lint: scan a source tree (or in-memory fixtures),
+// evaluate the determinism ruleset, and render the machine-readable report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace dfly::lint {
+
+/// An in-memory source file, for tests and fixtures.
+struct MemSource {
+  std::string rel;      ///< path relative to the scan root ("sim/engine.cpp")
+  std::string content;  ///< full file text
+};
+
+/// Lexes and lints the given sources. Pure — the unit under test.
+LintResult lint_sources(const std::vector<MemSource>& sources);
+
+/// Recursively scans `root` for .hpp/.h/.cpp/.cc files (sorted, so results
+/// are stable across directory-entry order) and lints them. Throws
+/// std::runtime_error if `root` is not a readable directory.
+LintResult lint_tree(const std::string& root);
+
+/// Renders `lint.json`: schema_version, per-rule counts, then the sorted
+/// violation and exemption records. Stable byte-for-byte for a given result.
+void write_lint_json(const LintResult& result, const std::string& root, std::ostream& os);
+
+}  // namespace dfly::lint

@@ -304,9 +304,9 @@ void Network::drain_deferred_frees() {
   // Coordinator context, every shard parked. Lane order makes the arenas'
   // free-list order a pure function of the configuration: each lane's list
   // was filled in that lane's (deterministic) execution order.
-  for (std::vector<ChunkId>& pending : deferred_frees_) {
-    for (const ChunkId cid : pending) chunks_.release(cid);
-    pending.clear();
+  for (std::vector<ChunkId>& lane_frees : deferred_frees_) {
+    for (const ChunkId cid : lane_frees) chunks_.release(cid);
+    lane_frees.clear();
   }
 }
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <tuple>
+#include <type_traits>
 
 #include "ckpt/snapshot_io.hpp"
 #include "obs/json.hpp"
@@ -152,6 +153,16 @@ void save_hop(ckpt::Writer& w, const HopEvent& hop) {
 
 /// Serialized size of one HopEvent, for Reader::count plausibility caps.
 constexpr std::size_t kHopBytes = 8 + 4 + 4 * 5 + 1 + 8 * 5;
+// Pin the frame arithmetic to the field layout save_hop/load_hop actually
+// write: u64 chunk + u32 msg + i32 x {src,dst,router,port,vc} + u8 kind +
+// i64 x {bytes,queue_depth,enqueue,start,end}. If a field is added the sum
+// breaks here instead of as a corrupt-looking snapshot at resume time.
+static_assert(std::is_trivially_copyable_v<HopEvent>,
+              "HopEvent is snapshot-framed and must stay trivially copyable");
+static_assert(kHopBytes == sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                               5 * sizeof(std::int32_t) + sizeof(std::uint8_t) +
+                               5 * sizeof(std::int64_t),
+              "kHopBytes must match the save_hop field framing");
 
 HopEvent load_hop(ckpt::Reader& r) {
   HopEvent hop;
@@ -188,6 +199,7 @@ void ChunkPathTracer::save_state(ckpt::Writer& w) const {
     // Sort by serial so the snapshot bytes don't depend on hash-map order.
     std::vector<std::uint64_t> serials;
     serials.reserve(l.pending.size());
+    // dfly-lint: allow(unordered-iter) reason=collects keys only; sorted below before any byte is written
     for (const auto& [serial, hop] : l.pending) serials.push_back(serial);
     std::sort(serials.begin(), serials.end());
     w.size(serials.size());

@@ -331,7 +331,7 @@ void Engine::save_state(ckpt::Writer& w,
   // Per-lane state only — nothing here depends on the thread count, so a
   // snapshot taken at threads=2 resumes bit-exactly at any thread count.
   // Saves happen at quiesce points, where every outbox is empty.
-  for (const Lane& lane : lanes_) assert(lane.outbox.empty());
+  for ([[maybe_unused]] const Lane& lane : lanes_) assert(lane.outbox.empty());
   w.i64(now_);
   w.u64(processed_);
   w.u32(static_cast<std::uint32_t>(lanes_.size()));

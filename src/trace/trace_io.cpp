@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <type_traits>
 
 namespace dfly {
 namespace {
@@ -29,12 +30,21 @@ constexpr std::uint64_t kMaxOpsPerRank = 100'000'000;
 
 template <typename T>
 void put(std::ostream& os, T value) {
+  // Fixed-width scalars only: the byte image must be the value itself, with
+  // no padding or pointers, or the sentinel/static_assert guards above are
+  // meaningless.
+  static_assert(std::is_trivially_copyable_v<T> && (std::is_integral_v<T> || std::is_enum_v<T>),
+                "trace format writes fixed-width integer scalars only");
+  // dfly-lint: allow(raw-bytes) reason=versioned DFTR container with byte-order sentinel; predates and parallels ckpt/snapshot_io
   os.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
 
 template <typename T>
 T get(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T> && (std::is_integral_v<T> || std::is_enum_v<T>),
+                "trace format reads fixed-width integer scalars only");
   T value{};
+  // dfly-lint: allow(raw-bytes) reason=versioned DFTR container with byte-order sentinel; predates and parallels ckpt/snapshot_io
   is.read(reinterpret_cast<char*>(&value), sizeof value);
   if (!is) throw std::runtime_error("trace: truncated input");
   return value;

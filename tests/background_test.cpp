@@ -89,7 +89,9 @@ TEST(Background, DestinationsStayInsideBackgroundJob) {
   f.engine.run();
   for (NodeId n = 0; n < f.topo.params().total_nodes(); ++n) {
     const bool in_job = n >= 10 && n < 20;
-    if (!in_job) EXPECT_EQ(f.network.nic(n).traffic, 0) << "node " << n;
+    if (!in_job) {
+      EXPECT_EQ(f.network.nic(n).traffic, 0) << "node " << n;
+    }
   }
 }
 

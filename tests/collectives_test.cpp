@@ -105,7 +105,9 @@ TEST_P(CollectiveRanks, AlltoallCoversAllPairs) {
   EXPECT_EQ(m.pairs_used(), static_cast<std::size_t>(n) * (n - 1));
   for (int r = 0; r < n; ++r)
     for (int d = 0; d < n; ++d)
-      if (d != r) EXPECT_EQ(m.bytes(r, d), 1000) << r << "->" << d;
+      if (d != r) {
+        EXPECT_EQ(m.bytes(r, d), 1000) << r << "->" << d;
+      }
   replay_trace(trace);
 }
 

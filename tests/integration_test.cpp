@@ -189,7 +189,9 @@ TEST(Sensitivity, RelativeValuesAnchorAtBaseline) {
   EXPECT_EQ(result.points.size(), 8u);
   for (const SensitivityPoint& p : result.points) {
     EXPECT_GT(p.max_comm_ms, 0.0);
-    if (p.config == "rand-adp") EXPECT_DOUBLE_EQ(p.relative_to_baseline_pct, 100.0);
+    if (p.config == "rand-adp") {
+      EXPECT_DOUBLE_EQ(p.relative_to_baseline_pct, 100.0);
+    }
   }
   const Table t = result.to_table("test");
   EXPECT_EQ(t.rows(), 2u);

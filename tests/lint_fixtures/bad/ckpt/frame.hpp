@@ -1,0 +1,10 @@
+// Seeded violation fixture: R6 (pod-assert) — a struct in ckpt/ with no
+// static_assert pinning its triviality/size and no allow() annotation.
+#pragma once
+
+#include <cstdint>
+
+struct SeededFrame {
+  std::uint64_t serial;
+  std::int32_t kind;
+};

@@ -1,0 +1,3 @@
+// Seeded violation fixture: R5 (raw-bytes) — raw byte reinterpretation
+// outside ckpt/snapshot_io and obs/json.
+double seeded_raw_bytes(long bits) { return *reinterpret_cast<double*>(&bits); }

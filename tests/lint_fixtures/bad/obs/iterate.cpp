@@ -1,0 +1,11 @@
+// Seeded violation fixture: R3 (unordered-iter) — hash-map iteration in an
+// artifact-feeding module, no order-insensitivity annotation.
+#include <unordered_map>
+
+std::unordered_map<int, long> totals;
+
+long seeded_unordered_iteration() {
+  long sum = 0;
+  for (const auto& [key, value] : totals) sum += value * key;
+  return sum;
+}

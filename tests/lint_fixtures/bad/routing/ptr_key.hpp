@@ -1,0 +1,8 @@
+// Seeded violation fixture: R4 (pointer-order) — pointer values as ordering
+// keys vary run to run and ASLR-shuffle any iteration order built on them.
+#pragma once
+
+#include <map>
+
+struct Router;
+inline std::map<Router*, int> seeded_pointer_ordering;

@@ -1,0 +1,9 @@
+// Seeded violation fixture: R1 (wall-clock) and R2 (raw-rng) in an artifact
+// module. dfly_lint over this tree must exit nonzero — CI asserts it.
+#include <chrono>
+#include <cstdlib>
+
+long seeded_wall_clock_read() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() + rand();
+}

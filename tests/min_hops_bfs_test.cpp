@@ -45,8 +45,9 @@ TEST(MinHopsBfs, TinyTopologyExactAgainstBfs) {
       // inter-group pairs), so they can exceed BFS but never beat it.
       EXPECT_GE(table_hops, dist[b]) << a << "->" << b;
       // Intra-group pairs are unrestricted: must match BFS exactly.
-      if (topo.coords().group_of_router(a) == topo.coords().group_of_router(b))
+      if (topo.coords().group_of_router(a) == topo.coords().group_of_router(b)) {
         EXPECT_EQ(table_hops, dist[b]) << a << "->" << b;
+      }
       // The restriction costs at most 2 extra local hops.
       EXPECT_LE(table_hops, dist[b] + 2) << a << "->" << b;
     }

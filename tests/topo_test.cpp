@@ -185,8 +185,9 @@ TEST_P(TopologyTest, LocalPortToFindsRowAndColumnPeers) {
     }
     // Diagonal peer in the same group: not one local hop.
     const RouterId diag = c.router_at(rc.group, (rc.row + 1) % p.rows, (rc.col + 1) % p.cols);
-    if (diag != r && c.row_of_router(diag) != rc.row && c.col_of_router(diag) != rc.col)
+    if (diag != r && c.row_of_router(diag) != rc.row && c.col_of_router(diag) != rc.col) {
       EXPECT_EQ(topo.local_port_to(r, diag), -1);
+    }
   }
 }
 

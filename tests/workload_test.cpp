@@ -234,5 +234,31 @@ TEST(Characterize, PerRankSendBytes) {
   EXPECT_EQ(sum, w.trace.total_send_bytes());
 }
 
+// Regression for the dfly_lint unordered-iteration audit (DESIGN.md par.12):
+// CommMatrix stores rows as unordered_map and its aggregations iterate them.
+// That is only safe because every consumer is a commutative integer
+// reduction. Pin it: two traces with identical traffic but opposite per-rank
+// op order populate the hash maps in different insertion orders, and every
+// derived statistic must still match exactly.
+TEST(Characterize, CommMatrixAggregationIsIterationOrderInsensitive) {
+  constexpr int n = 16;
+  Trace fwd(n), rev(n);
+  for (int r = 0; r < n; ++r) {
+    for (int d = 0; d < n; ++d)
+      if (d != r) fwd.rank(r).push_back(TraceOp::send(d, 100 + 7 * d, 0));
+    for (int d = n - 1; d >= 0; --d)
+      if (d != r) rev.rank(r).push_back(TraceOp::send(d, 100 + 7 * d, 0));
+  }
+  const CommMatrix a(fwd), b(rev);
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.pairs_used(), b.pairs_used());
+  for (const int window : {0, 1, 3, n}) {
+    EXPECT_EQ(a.locality_fraction(window), b.locality_fraction(window)) << window;
+  }
+  EXPECT_EQ(a.block_aggregate(4), b.block_aggregate(4));
+  for (int r = 0; r < n; ++r)
+    for (int d = 0; d < n; ++d) EXPECT_EQ(a.bytes(r, d), b.bytes(r, d)) << r << "->" << d;
+}
+
 }  // namespace
 }  // namespace dfly
